@@ -1,0 +1,62 @@
+package nustencil
+
+import (
+	"fmt"
+	"strings"
+
+	"nustencil/internal/ablation"
+)
+
+// RenderAblations runs the three ablation studies on a modeled machine and
+// renders them as text: the affinity decomposition (how much of the
+// nuCATS-over-CATS win is page placement alone), the Section II tile-count
+// adjustment, and the nuCORALS τ sweep. cores == 0 uses the whole machine.
+func RenderAblations(machineName MachineName, side, cores int) (string, error) {
+	m, err := machineFor(machineName)
+	if err != nil {
+		return "", err
+	}
+	if cores <= 0 {
+		cores = m.NumCores()
+	}
+	if cores > m.NumCores() {
+		return "", fmt.Errorf("nustencil: %d cores exceed %s", cores, m.Name)
+	}
+	if side < 8 {
+		return "", fmt.Errorf("nustencil: domain side %d too small", side)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations on %s, %d³ domain, %d cores, constant 7-point stencil, 100 timesteps\n\n",
+		m.Name, side, cores)
+
+	section := func(title string, pts []AblationPoint) {
+		fmt.Fprintf(&b, "%s\n", title)
+		for _, p := range pts {
+			fmt.Fprintf(&b, "  %-38s %8.1f GFLOPS   local %.0f%%\n", p.Label, p.GFLOPS, p.LocalFrac*100)
+		}
+		b.WriteByte('\n')
+	}
+	conv := func(ps []ablation.Point) []AblationPoint {
+		out := make([]AblationPoint, len(ps))
+		for i, p := range ps {
+			out[i] = AblationPoint{Label: p.Label, GFLOPS: p.GFLOPS, LocalFrac: p.LocalFrac}
+		}
+		return out
+	}
+
+	section("AFFINITY — same nuCATS tiling, different page placement",
+		conv(ablation.Affinity(m, side, cores)))
+	section("TILE-COUNT ADJUSTMENT — nuCATS Section II cases on/off",
+		conv(ablation.Adjustment(m, side, cores)))
+	sweep, _ := ablation.TauSweep(m, side, cores)
+	section("τ SWEEP — nuCORALS temporal locality vs data-to-core affinity",
+		conv(sweep))
+	return b.String(), nil
+}
+
+// AblationPoint is one rendered ablation measurement.
+type AblationPoint struct {
+	Label     string
+	GFLOPS    float64
+	LocalFrac float64
+}

@@ -1,0 +1,96 @@
+package nustencil
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// checkpoint is the on-disk format of a solver state.
+type checkpoint struct {
+	Version   int
+	Dims      []int
+	Order     int
+	Banded    bool
+	Periodic  bool
+	StepsRun  int
+	State     []float64
+	Coeffs    [][]float64
+	Source    []float64
+	StencilNP int
+}
+
+const checkpointVersion = 1
+
+// Save writes the solver's current state — grid values, per-cell
+// coefficients, source term, and completed step count — to w, so a long
+// time-stepping run can resume later with Load. The scheme and worker
+// configuration are not stored: they can change across a resume.
+func (s *Solver) Save(w io.Writer) error {
+	cp := checkpoint{
+		Version:   checkpointVersion,
+		Dims:      s.cfg.Dims,
+		Order:     s.cfg.Order,
+		Banded:    s.cfg.Banded,
+		Periodic:  s.cfg.Periodic,
+		StepsRun:  s.steps,
+		State:     s.Export(nil),
+		Source:    s.source,
+		StencilNP: s.st.NumPoints(),
+	}
+	if s.coeffs != nil {
+		cp.Coeffs = s.coeffs.Data
+	}
+	return gob.NewEncoder(w).Encode(&cp)
+}
+
+// Load restores a state written by Save into this solver. The solver's
+// grid shape, order, boundary mode, and coefficient kind must match the
+// checkpoint.
+func (s *Solver) Load(r io.Reader) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("nustencil: reading checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("nustencil: checkpoint version %d not supported", cp.Version)
+	}
+	if len(cp.Dims) != len(s.cfg.Dims) {
+		return fmt.Errorf("nustencil: checkpoint is %dD, solver is %dD", len(cp.Dims), len(s.cfg.Dims))
+	}
+	for k, d := range cp.Dims {
+		if d != s.cfg.Dims[k] {
+			return fmt.Errorf("nustencil: checkpoint dims %v, solver %v", cp.Dims, s.cfg.Dims)
+		}
+	}
+	if cp.Order != s.cfg.Order || cp.Banded != s.cfg.Banded || cp.Periodic != s.cfg.Periodic {
+		return fmt.Errorf("nustencil: checkpoint stencil configuration mismatch")
+	}
+	if len(cp.State) != s.g.Len() {
+		return fmt.Errorf("nustencil: checkpoint holds %d values, grid needs %d", len(cp.State), s.g.Len())
+	}
+	if err := s.Import(cp.State); err != nil {
+		return err
+	}
+	s.steps = cp.StepsRun
+	if cp.Coeffs != nil {
+		if s.coeffs == nil || len(cp.Coeffs) != len(s.coeffs.Data) {
+			return fmt.Errorf("nustencil: checkpoint coefficients do not fit this solver")
+		}
+		for p := range cp.Coeffs {
+			if len(cp.Coeffs[p]) != len(s.coeffs.Data[p]) {
+				return fmt.Errorf("nustencil: checkpoint coefficient slab %d has wrong length", p)
+			}
+			copy(s.coeffs.Data[p], cp.Coeffs[p])
+		}
+	}
+	if cp.Source != nil {
+		s.source = append(s.source[:0], cp.Source...)
+	} else {
+		s.source = nil
+	}
+	return nil
+}
+
+// StepsRun returns the number of timesteps the solver has completed.
+func (s *Solver) StepsRun() int { return s.steps }

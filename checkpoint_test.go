@@ -1,0 +1,119 @@
+package nustencil
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	mk := func() *Solver {
+		s, err := NewSolver(Config{Dims: []int{10, 10, 10}, Timesteps: 4, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetInitial(func(pt []int) float64 { return float64(pt[0] + pt[1]*pt[2]) })
+		s.SetSource(func(pt []int) float64 { return 0.01 })
+		return s
+	}
+	full := mk()
+	if _, err := full.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Run(); err != nil { // 8 steps total
+		t.Fatal(err)
+	}
+
+	half := mk()
+	if _, err := half.Run(); err != nil { // 4 steps
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := half.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := mk()
+	if err := resumed.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.StepsRun() != 4 {
+		t.Fatalf("StepsRun = %d, want 4", resumed.StepsRun())
+	}
+	if _, err := resumed.Run(); err != nil { // +4 = 8
+		t.Fatal(err)
+	}
+	probe := []int{5, 5, 5}
+	if a, b := resumed.Value(probe), full.Value(probe); a != b {
+		t.Fatalf("resumed %v != uninterrupted %v", a, b)
+	}
+}
+
+func TestCheckpointBandedRoundTrip(t *testing.T) {
+	mk := func() *Solver {
+		s, err := NewSolver(Config{Dims: []int{8, 8}, Banded: true, Timesteps: 3, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := mk()
+	if err := a.SetCoefficients(func(p int, pt []int) float64 {
+		if p == 0 {
+			return 0.6
+		}
+		return 0.1
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.SetInitial(func(pt []int) float64 { return float64(pt[0]) })
+	if _, err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b := mk() // coefficients NOT set: must come from the checkpoint
+	if err := b.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if va, vb := a.Value([]int{4, 4}), b.Value([]int{4, 4}); va != vb {
+		t.Fatalf("banded resume diverged: %v vs %v", va, vb)
+	}
+}
+
+func TestCheckpointMismatchRejected(t *testing.T) {
+	src, _ := NewSolver(Config{Dims: []int{8, 8}, Timesteps: 1})
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Config{
+		{Dims: []int{8, 8, 8}, Timesteps: 1},            // wrong dimensionality
+		{Dims: []int{8, 9}, Timesteps: 1},               // wrong shape
+		{Dims: []int{8, 8}, Order: 2, Timesteps: 1},     // wrong order
+		{Dims: []int{8, 8}, Banded: true, Timesteps: 1}, // wrong kind
+	}
+	for i, cfg := range cases {
+		dst, err := NewSolver(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.NewReader(buf.Bytes())
+		if err := dst.Load(data); err == nil {
+			t.Errorf("mismatched checkpoint %d accepted", i)
+		}
+	}
+	// Garbage input.
+	dst, _ := NewSolver(Config{Dims: []int{8, 8}, Timesteps: 1})
+	if err := dst.Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}

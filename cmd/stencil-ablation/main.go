@@ -1,0 +1,28 @@
+// Command stencil-ablation prints the ablation studies that isolate the
+// paper's design decisions: data-to-core affinity (placement alone),
+// nuCATS' tile-count adjustment, and nuCORALS' τ trade-off.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"nustencil"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stencil-ablation: ")
+
+	machineName := flag.String("machine", "xeonx7550", "machine model: opteron8222 or xeonx7550")
+	side := flag.Int("side", 500, "cubic domain side (interior)")
+	cores := flag.Int("cores", 0, "core count (default: all cores of the machine)")
+	flag.Parse()
+
+	out, err := nustencil.RenderAblations(nustencil.MachineName(*machineName), *side, *cores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

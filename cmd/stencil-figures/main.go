@@ -1,0 +1,67 @@
+// Command stencil-figures regenerates the tables and figures of the
+// paper's evaluation section from the machine and cost models, printing the
+// same per-core Gupdates/s series and caption GFLOPS the paper reports.
+//
+//	stencil-figures -all          # everything: Table I, Fig 3..22
+//	stencil-figures -fig fig22    # one figure
+//	stencil-figures -fig table1   # the hardware table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"nustencil"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stencil-figures: ")
+
+	fig := flag.String("fig", "", "figure id (table1, fig03..fig22)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	list := flag.Bool("list", false, "list available figure ids")
+	csv := flag.Bool("csv", false, "emit CSV instead of the text table (with -fig)")
+	attr := flag.Bool("attribution", false, "show the cost model's bottleneck attribution (with -fig)")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("table1")
+		for _, id := range nustencil.FigureIDs() {
+			fmt.Println(id)
+		}
+	case *all:
+		fmt.Println(nustencil.RenderTableI())
+		for _, id := range nustencil.FigureIDs() {
+			out, err := nustencil.RenderFigure(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(out)
+		}
+	case *fig == "table1":
+		fmt.Println(nustencil.RenderTableI())
+	case *fig != "" && *attr:
+		out, err := nustencil.RenderAttribution(*fig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+	case *fig != "" && *csv:
+		out, err := nustencil.RenderFigureCSV(*fig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+	case *fig != "":
+		out, err := nustencil.RenderFigure(*fig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	default:
+		flag.Usage()
+	}
+}

@@ -1,0 +1,32 @@
+// Command stencil-machine prints the modeled ccNUMA testbeds: topology,
+// Table I parameters, and the bandwidth scaling curves of Figure 3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"nustencil"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stencil-machine: ")
+	flag.Parse()
+
+	for _, m := range []nustencil.MachineName{nustencil.Opteron8222, nustencil.XeonX7550} {
+		d, err := nustencil.MachineDescription(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(d)
+	}
+	fmt.Println()
+	fmt.Println(nustencil.RenderTableI())
+	out, err := nustencil.RenderFigure("fig03")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}

@@ -1,0 +1,74 @@
+// Command stencil-tune grid-searches a scheme's parameter space on the
+// local machine with real executions and prints the ranked candidates —
+// the auto-tuning workflow the paper's related work describes, applied to
+// this library's schemes. nuCATS/nuCORALS aim to be good with defaults;
+// the tuner shows how much a given host leaves on the table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"nustencil/internal/cliutil"
+	"nustencil/internal/tune"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stencil-tune: ")
+
+	scheme := flag.String("scheme", "nuCORALS", "scheme to tune: nuCORALS, nuCATS, CATS, PLuTo")
+	dims := flag.String("dims", "98x98x98", "grid dimensions")
+	steps := flag.Int("steps", 10, "timesteps per measurement")
+	workers := flag.Int("workers", 0, "worker threads (default NumCPU)")
+	repeats := flag.Int("repeats", 3, "repeats per candidate (best counts)")
+	budget := flag.Duration("budget", 2*time.Minute, "total search budget")
+	top := flag.Int("top", 10, "show this many candidates")
+	flag.Parse()
+
+	d, err := cliutil.ParseDims(*dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := tune.Workload{Dims: d, Timesteps: *steps, Workers: *workers}
+	if w.Workers <= 0 {
+		w.Workers = runtime.NumCPU()
+	}
+	space, err := tune.SpaceFor(*scheme, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure, err := tune.MeasureFor(*scheme, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tuning %s on %s, %d steps, %d workers: %d candidates × %d repeats (budget %v)\n\n",
+		*scheme, *dims, *steps, w.Workers, space.Size(), *repeats, *budget)
+	start := time.Now()
+	results := tune.GridSearch(space, measure, tune.Options{Repeats: *repeats, Budget: *budget})
+	fmt.Printf("searched %d candidates in %v\n\n", len(results), time.Since(start).Round(time.Millisecond))
+
+	if len(results) == 0 {
+		log.Fatal("no candidates measured")
+	}
+	fmt.Printf("%-4s %-44s %12s\n", "rank", "setting", "Gupdates/s")
+	for i, r := range results {
+		if i >= *top {
+			break
+		}
+		label := fmt.Sprintf("%v", r.Setting)
+		if r.Err != nil {
+			fmt.Printf("%-4d %-44s %12s\n", i+1, label, "error: "+r.Err.Error())
+			continue
+		}
+		fmt.Printf("%-4d %-44s %12.4f\n", i+1, label, r.Gupdates)
+	}
+	best := results[0]
+	if best.Err == nil {
+		fmt.Printf("\nbest: %v at %.4f Gupdates/s\n", best.Setting, best.Gupdates)
+	}
+}

@@ -1,0 +1,86 @@
+package nustencil_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"nustencil"
+)
+
+// Example runs a small 3D Jacobi iteration with nuCORALS and checks a
+// conserved quantity: with normalized weights, a uniform field is a fixed
+// point.
+func Example() {
+	solver, err := nustencil.NewSolver(nustencil.Config{
+		Dims:      []int{34, 34, 34},
+		Timesteps: 10,
+		Scheme:    nustencil.NuCORALS,
+		Workers:   2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	solver.SetInitial(func(pt []int) float64 { return 1.5 })
+	report, err := solver.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("updates: %d\n", report.Updates)
+	fmt.Printf("centre:  %.1f\n", solver.Value([]int{17, 17, 17}))
+	// Output:
+	// updates: 327680
+	// centre:  1.5
+}
+
+// ExampleSimulate predicts nuCORALS on the modeled Xeon X7550 — the
+// machine of the paper's Figures 5, 7, 9 and 20–22.
+func ExampleSimulate() {
+	res, err := nustencil.Simulate(nustencil.SimConfig{
+		Machine: nustencil.XeonX7550,
+		Scheme:  nustencil.NuCORALS,
+		Dims:    []int{162, 162, 162}, // the 160³ strong-scaling domain
+		Cores:   32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bottleneck: %s\n", res.Bottleneck)
+	fmt.Printf("GFLOPS: %.0f (paper measured 104.8)\n", res.GFLOPS)
+	// Output:
+	// bottleneck: llc
+	// GFLOPS: 108 (paper measured 104.8)
+}
+
+// ExampleSolver_SetSource solves an inhomogeneous problem: a constant
+// source grows a uniform field linearly until boundary influence arrives.
+func ExampleSolver_SetSource() {
+	solver, err := nustencil.NewSolver(nustencil.Config{
+		Dims:      []int{18, 18},
+		Timesteps: 4,
+		Scheme:    nustencil.NuCATS,
+		Workers:   2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	solver.SetInitial(func(pt []int) float64 { return 2 })
+	solver.SetSource(func(pt []int) float64 { return 0.5 })
+	if _, err := solver.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("centre after 4 steps: %.1f\n", solver.Value([]int{9, 9}))
+	// Output:
+	// centre after 4 steps: 4.0
+}
+
+// ExampleRenderFigure regenerates one line of the paper's evaluation.
+func ExampleRenderFigure() {
+	out, err := nustencil.RenderFigure("fig22")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strings.SplitN(out, "\n", 2)[0])
+	// Output:
+	// FIG22: Scheme comparison, strong scalability 160³, Xeon X7550
+}

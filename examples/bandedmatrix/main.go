@@ -1,0 +1,77 @@
+// Banded matrix: iterate a variable-coefficient stencil — exactly a
+// repeated product with a sparse banded matrix (Section IV-E of the paper).
+// The scenario is heat diffusion through a medium whose conductivity varies
+// in space (a layered material), which forces per-cell coefficients.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"nustencil"
+)
+
+const (
+	side  = 82
+	steps = 30
+)
+
+// kappa is the spatially varying diffusivity: alternating fast and slow
+// layers along the first dimension.
+func kappa(pt []int) float64 {
+	if (pt[0]/10)%2 == 0 {
+		return 0.16 // conductive layer
+	}
+	return 0.02 // insulating layer
+}
+
+func main() {
+	for _, scheme := range []nustencil.SchemeName{nustencil.NuCORALS, nustencil.NuCATS, nustencil.Naive} {
+		s, err := nustencil.NewSolver(nustencil.Config{
+			Dims:      []int{side, side, side},
+			Banded:    true,
+			Timesteps: steps,
+			Scheme:    scheme,
+			Workers:   runtime.NumCPU(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Row of the banded matrix at each cell: centre 1-6κ, neighbours κ.
+		// Coefficients vary per cell, so they must be streamed alongside
+		// the vector — the memory-bound regime of Figures 10–15.
+		if err := s.SetCoefficients(func(point int, pt []int) float64 {
+			k := kappa(pt)
+			if point == 0 {
+				return 1 - 6*k
+			}
+			return k
+		}); err != nil {
+			log.Fatal(err)
+		}
+		s.SetInitial(func(pt []int) float64 {
+			if pt[0] <= 1 {
+				return 100
+			}
+			return 0
+		})
+		rep, err := s.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %8.3fs  %7.3f Gupdates/s  (%d-point banded stencil, %d flops/update)\n",
+			scheme, rep.Seconds, rep.Gupdates(), s.NumPoints(), rep.FlopsPerUpdate)
+
+		// Heat penetrates the conductive layers faster than the insulating
+		// ones: compare the temperature just inside layer boundaries.
+		conductive := s.Value([]int{9, side / 2, side / 2})  // end of a fast layer
+		insulating := s.Value([]int{19, side / 2, side / 2}) // end of a slow layer
+		fmt.Printf("%-10s temperature at depth 9 (conductive) %.6f vs depth 19 (insulating) %.6f\n",
+			"", conductive, insulating)
+		if conductive <= insulating {
+			log.Fatal("physics violated: insulating layer hotter than conductive one")
+		}
+	}
+	fmt.Println("layered-medium diffusion behaves physically under all schemes")
+}

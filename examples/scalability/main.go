@@ -1,0 +1,71 @@
+// Scalability: reproduce the paper's methodology on the simulated Xeon
+// X7550 — weak scaling at 200³ per core and strong scaling on 160³ and
+// 500³ — and print the per-core Gupdates/s series for the paper's schemes,
+// showing the NUMA cliff of the non-NUMA-aware schemes beyond one socket.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"nustencil"
+)
+
+func main() {
+	schemes := []nustencil.SchemeName{
+		nustencil.NuCORALS, nustencil.NuCATS, nustencil.CATS,
+		nustencil.CORALS, nustencil.Pochoir, nustencil.PLuTo, nustencil.Naive,
+	}
+	cores := []int{1, 2, 4, 8, 16, 32}
+
+	study := func(title string, sideFor func(cores int) int) {
+		fmt.Println(title)
+		fmt.Printf("%-6s", "cores")
+		for _, s := range schemes {
+			fmt.Printf(" %10s", s)
+		}
+		fmt.Println()
+		for _, n := range cores {
+			fmt.Printf("%-6d", n)
+			side := sideFor(n)
+			for _, s := range schemes {
+				res, err := nustencil.Simulate(nustencil.SimConfig{
+					Machine: nustencil.XeonX7550,
+					Scheme:  s,
+					Dims:    []int{side + 2, side + 2, side + 2},
+					Cores:   n,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf(" %10.4f", res.GupdatesPerCore)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	study("WEAK SCALING, 200³ per core (per-core Gupdates/s)",
+		func(n int) int { return int(math.Round(200 * math.Cbrt(float64(n)))) })
+	study("STRONG SCALING, 160³ (per-core Gupdates/s)",
+		func(int) int { return 160 })
+	study("STRONG SCALING, 500³ (per-core Gupdates/s)",
+		func(int) int { return 500 })
+
+	// Quantify the NUMA cliff: per-core retention from 8 to 32 cores.
+	fmt.Println("per-core retention 8→32 cores on 500³ (1.0 = no NUMA penalty):")
+	for _, s := range schemes {
+		at := func(n int) float64 {
+			r, err := nustencil.Simulate(nustencil.SimConfig{
+				Machine: nustencil.XeonX7550, Scheme: s,
+				Dims: []int{502, 502, 502}, Cores: n,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return r.GupdatesPerCore
+		}
+		fmt.Printf("  %-10s %.2f\n", s, at(32)/at(8))
+	}
+}

@@ -1,0 +1,3 @@
+module nustencil
+
+go 1.22

@@ -1,0 +1,96 @@
+// Package ablation isolates the design decisions DESIGN.md calls out, by
+// re-pricing variants of the schemes that differ in exactly one ingredient:
+//
+//   - Affinity: nuCATS geometry with NUMA-aware vs NUMA-ignorant page
+//     placement — how much of the nuCATS-over-CATS win is data-to-core
+//     affinity alone.
+//   - Adjustment: nuCATS with and without the Section II tile-count
+//     adjustment — what even tile distribution is worth.
+//   - Tau: nuCORALS across a τ sweep — the temporal-locality vs
+//     data-to-core-affinity trade-off behind the τ = b/(2s) default.
+package ablation
+
+import (
+	"nustencil/internal/machine"
+	"nustencil/internal/memsim"
+	"nustencil/internal/stencil"
+	"nustencil/internal/tiling/nucorals"
+)
+
+// Point is one ablation measurement.
+type Point struct {
+	Label  string
+	GFLOPS float64
+	// LocalFrac is the modeled fraction of main traffic served locally.
+	LocalFrac float64
+}
+
+// workload builds the standard ablation workload: constant 7-point stencil,
+// 100 timesteps.
+func workload(m *machine.Machine, side, cores int) *memsim.Workload {
+	return &memsim.Workload{
+		Machine:   m,
+		Stencil:   stencil.NewStar(3, 1),
+		Dims:      []int{side + 2, side + 2, side + 2},
+		Timesteps: 100,
+		Cores:     cores,
+	}
+}
+
+func point(label string, mod memsim.Model, w *memsim.Workload) Point {
+	r := memsim.Predict(mod, w)
+	return Point{Label: label, GFLOPS: r.GFLOPS(), LocalFrac: r.Traffic.LocalFrac}
+}
+
+// Affinity prices the same nuCATS tiling under three placements: NUMA-aware
+// first touch, NUMA-ignorant placement with nuCATS scheduling, and full
+// CATS (round-robin scheduling and NUMA-ignorant placement).
+func Affinity(m *machine.Machine, side, cores int) []Point {
+	w := workload(m, side, cores)
+	return []Point{
+		point("nuCATS (owner placement)", memsim.CATSModel{NUMA: true}, w),
+		point("nuCATS geometry, pages on node 0", memsim.CATSModel{NUMA: true, PagesOnNode0: true}, w),
+		point("CATS (round robin, node 0)", memsim.CATSModel{}, w),
+	}
+}
+
+// Adjustment prices nuCATS with and without the Section II tile-count
+// adjustment.
+func Adjustment(m *machine.Machine, side, cores int) []Point {
+	w := workload(m, side, cores)
+	return []Point{
+		point("with adjustment", memsim.CATSModel{NUMA: true}, w),
+		point("without adjustment", memsim.CATSModel{NUMA: true, NoAdjustment: true}, w),
+	}
+}
+
+// TauSweep prices nuCORALS at multiples of the default τ = b/(2s):
+// fractions {1/4, 1/2, 1, 2, 4} of b/2 for order 1. It returns the sweep
+// plus the index of the default setting.
+func TauSweep(m *machine.Machine, side, cores int) (points []Point, defaultIdx int) {
+	w := workload(m, side, cores)
+	ext := w.InteriorExtents()
+	tauDefault := nucorals.TauFor(ext, cores, 1)
+	multiples := []struct {
+		label string
+		num   int
+		den   int
+	}{
+		{"τ = b/8", 1, 4},
+		{"τ = b/4", 1, 2},
+		{"τ = b/2 (default)", 1, 1},
+		{"τ = b", 2, 1},
+		{"τ = 2b", 4, 1},
+	}
+	for i, mul := range multiples {
+		tau := tauDefault * mul.num / mul.den
+		if tau < 1 {
+			tau = 1
+		}
+		points = append(points, point(mul.label, memsim.NuCORALSModel{TauOverride: tau}, w))
+		if mul.num == 1 && mul.den == 1 {
+			defaultIdx = i
+		}
+	}
+	return points, defaultIdx
+}

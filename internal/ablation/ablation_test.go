@@ -1,0 +1,106 @@
+package ablation
+
+import (
+	"testing"
+
+	"nustencil/internal/machine"
+)
+
+func TestAffinityDecomposition(t *testing.T) {
+	pts := Affinity(machine.XeonX7550(), 500, 32)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	nucats, node0, cats := pts[0], pts[1], pts[2]
+	// Placement is the dominant ingredient: losing first-touch placement
+	// while keeping nuCATS scheduling already costs most of the win.
+	if node0.GFLOPS >= nucats.GFLOPS {
+		t.Errorf("node-0 placement (%.1f) should cost performance vs owner placement (%.1f)",
+			node0.GFLOPS, nucats.GFLOPS)
+	}
+	if cats.GFLOPS > node0.GFLOPS*1.05 {
+		t.Errorf("full CATS (%.1f) should not beat the placement-ablated variant (%.1f)",
+			cats.GFLOPS, node0.GFLOPS)
+	}
+	gapTotal := nucats.GFLOPS - cats.GFLOPS
+	gapPlacement := nucats.GFLOPS - node0.GFLOPS
+	if gapTotal <= 0 {
+		t.Fatalf("no nuCATS advantage to decompose (%.1f vs %.1f)", nucats.GFLOPS, cats.GFLOPS)
+	}
+	if frac := gapPlacement / gapTotal; frac < 0.5 {
+		t.Errorf("placement explains only %.0f%% of the gap; the paper attributes the win to data-to-core affinity", frac*100)
+	}
+	// Local fractions express the mechanism.
+	if nucats.LocalFrac < 0.9 || node0.LocalFrac > 0.5 {
+		t.Errorf("local fractions: owner %.2f, node0 %.2f", nucats.LocalFrac, node0.LocalFrac)
+	}
+}
+
+func TestAffinityIrrelevantOnOneSocket(t *testing.T) {
+	pts := Affinity(machine.XeonX7550(), 500, 8)
+	nucats, node0 := pts[0], pts[1]
+	if r := node0.GFLOPS / nucats.GFLOPS; r < 0.95 {
+		t.Errorf("within one socket placement should not matter (ratio %.2f)", r)
+	}
+}
+
+func TestAdjustmentHelpsSmallDomains(t *testing.T) {
+	// 160³ on 32 cores: the raw cache formula yields fewer tiles than
+	// threads; the adjustment restores full parallelism.
+	pts := Adjustment(machine.XeonX7550(), 160, 32)
+	with, without := pts[0], pts[1]
+	if with.GFLOPS <= without.GFLOPS {
+		t.Errorf("adjustment should help on 160³/32c: with %.1f vs without %.1f",
+			with.GFLOPS, without.GFLOPS)
+	}
+}
+
+func TestAdjustmentNeutralWhenTilesAbound(t *testing.T) {
+	// 500³ on 4 cores: plenty of tiles either way; the adjustment must not
+	// cost more than a few percent.
+	pts := Adjustment(machine.XeonX7550(), 500, 4)
+	with, without := pts[0], pts[1]
+	if r := with.GFLOPS / without.GFLOPS; r < 0.9 {
+		t.Errorf("adjustment should be near-neutral with many tiles (ratio %.2f)", r)
+	}
+}
+
+func TestTauSweepDefaultNearOptimal(t *testing.T) {
+	for _, cores := range []int{16, 32} {
+		pts, di := TauSweep(machine.XeonX7550(), 500, cores)
+		if len(pts) != 5 {
+			t.Fatalf("sweep has %d points", len(pts))
+		}
+		best := 0.0
+		for _, p := range pts {
+			if p.GFLOPS > best {
+				best = p.GFLOPS
+			}
+		}
+		if def := pts[di].GFLOPS; def < 0.9*best {
+			t.Errorf("%d cores: default τ reaches %.1f of best %.1f (< 90%%)", cores, def, best)
+		}
+	}
+}
+
+func TestTauSweepTradeoffDirection(t *testing.T) {
+	// Larger τ means more temporal locality but less data-to-core
+	// affinity: the local fraction must fall monotonically across the
+	// sweep.
+	pts, _ := TauSweep(machine.XeonX7550(), 500, 32)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].LocalFrac > pts[i-1].LocalFrac+1e-9 {
+			t.Errorf("local fraction rose from %.3f to %.3f at %s",
+				pts[i-1].LocalFrac, pts[i].LocalFrac, pts[i].Label)
+		}
+	}
+	// And the default setting keeps roughly the paper's 75%-local regime
+	// per decomposed dimension (product over two dimensions here).
+	if _, di := TauSweep(machine.XeonX7550(), 500, 32); true {
+		pts2, _ := TauSweep(machine.XeonX7550(), 500, 32)
+		lf := pts2[di].LocalFrac
+		if lf < 0.5 || lf > 0.95 {
+			t.Errorf("default τ local fraction = %.2f", lf)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package affinity provides the data-to-core affinity substrate. On the
+// paper's testbeds this is sched_setaffinity plus first-touch allocation;
+// Go's runtime scheduler hides thread-to-core placement, so this package
+// offers (1) a virtual-core abstraction that the machine model and cost
+// model reason about exactly, and (2) best-effort real pinning of worker
+// OS threads on Linux for real executions.
+package affinity
+
+// Topology is the part of a machine description affinity needs: how many
+// cores exist and which NUMA node each belongs to. internal/machine
+// implements it.
+type Topology interface {
+	NumCores() int
+	NodeOfCore(core int) int
+}
+
+// Fixed is a trivial Topology: Cores cores spread evenly over Nodes NUMA
+// nodes, filled socket by socket (core c is on node c/(Cores/Nodes)), which
+// matches the paper's policy of occupying all cores of one socket before
+// the next.
+type Fixed struct {
+	Cores int
+	Nodes int
+}
+
+// NumCores implements Topology.
+func (f Fixed) NumCores() int { return f.Cores }
+
+// NodeOfCore implements Topology.
+func (f Fixed) NodeOfCore(core int) int {
+	if f.Nodes <= 1 {
+		return 0
+	}
+	per := f.Cores / f.Nodes
+	if per == 0 {
+		per = 1
+	}
+	n := core / per
+	if n >= f.Nodes {
+		n = f.Nodes - 1
+	}
+	return n
+}
+
+// PinCurrentThread binds the calling OS thread to the given CPU on platforms
+// that support it (Linux), and is a documented no-op elsewhere or when the
+// CPU does not exist. Callers must have locked the goroutine to its thread
+// with runtime.LockOSThread first, or the pin applies to whichever thread
+// happens to run the call. The returned error is advisory: real pinning is
+// best-effort and never required for correctness.
+func PinCurrentThread(cpu int) error { return pinCurrentThread(cpu) }

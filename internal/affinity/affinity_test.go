@@ -1,0 +1,51 @@
+package affinity
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestFixedTopologySocketBySocket(t *testing.T) {
+	// The Xeon X7550 shape: 32 cores over 4 nodes, 8 per node.
+	f := Fixed{Cores: 32, Nodes: 4}
+	for c := 0; c < 32; c++ {
+		want := c / 8
+		if got := f.NodeOfCore(c); got != want {
+			t.Errorf("core %d on node %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestFixedTopologySingleNode(t *testing.T) {
+	f := Fixed{Cores: 8, Nodes: 1}
+	for c := 0; c < 8; c++ {
+		if f.NodeOfCore(c) != 0 {
+			t.Errorf("core %d not on node 0", c)
+		}
+	}
+}
+
+func TestFixedTopologyMoreNodesThanCores(t *testing.T) {
+	f := Fixed{Cores: 2, Nodes: 4}
+	for c := 0; c < 2; c++ {
+		if n := f.NodeOfCore(c); n < 0 || n >= 4 {
+			t.Errorf("core %d mapped to invalid node %d", c, n)
+		}
+	}
+}
+
+func TestPinCurrentThread(t *testing.T) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	// Pinning to CPU 0 must succeed on Linux and be a no-op elsewhere.
+	if err := PinCurrentThread(0); err != nil {
+		t.Errorf("PinCurrentThread(0) = %v", err)
+	}
+	// Virtual cores beyond the host are accepted silently.
+	if err := PinCurrentThread(runtime.NumCPU() + 5); err != nil {
+		t.Errorf("virtual core pin = %v", err)
+	}
+	if err := PinCurrentThread(-1); err == nil && runtime.GOOS == "linux" {
+		t.Error("negative cpu should error on linux")
+	}
+}

@@ -1,0 +1,35 @@
+//go:build linux
+
+package affinity
+
+import (
+	"fmt"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// cpuSet mirrors the kernel's cpu_set_t: 1024 bits.
+type cpuSet [16]uint64
+
+func pinCurrentThread(cpu int) error {
+	if cpu < 0 || cpu >= 1024 {
+		return fmt.Errorf("affinity: cpu %d out of range", cpu)
+	}
+	if cpu >= runtime.NumCPU() {
+		// Virtual core beyond the host: simulated-machine run, nothing to pin.
+		return nil
+	}
+	var set cpuSet
+	set[cpu/64] |= 1 << (uint(cpu) % 64)
+	_, _, errno := syscall.RawSyscall(
+		syscall.SYS_SCHED_SETAFFINITY,
+		0, // current thread
+		uintptr(unsafe.Sizeof(set)),
+		uintptr(unsafe.Pointer(&set)),
+	)
+	if errno != 0 {
+		return fmt.Errorf("affinity: sched_setaffinity(%d): %v", cpu, errno)
+	}
+	return nil
+}

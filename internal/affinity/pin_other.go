@@ -1,0 +1,6 @@
+//go:build !linux
+
+package affinity
+
+// pinCurrentThread is a no-op on platforms without sched_setaffinity.
+func pinCurrentThread(cpu int) error { return nil }

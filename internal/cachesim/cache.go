@@ -1,0 +1,93 @@
+// Package cachesim is a line-granular simulator of a ccNUMA memory
+// hierarchy: set-associative write-back LRU caches (private levels per
+// core, optionally a socket-shared LLC) in front of NUMA memory nodes with
+// first-touch page ownership. It exists to validate the analytic cost model
+// (internal/memsim) from below: on scaled-down workloads, replaying a
+// scheme's actual tile accesses through the simulated hierarchy must show
+// the traffic structure the analytic model assumes — temporal blocking
+// slashing per-update memory words, NUMA-aware placement keeping traffic
+// local, and NUMA-ignorant placement concentrating it on one node.
+package cachesim
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+	// SharedPerSocket: one cache instance per socket instead of per core.
+	SharedPerSocket bool
+}
+
+// line is one cache line's state.
+type line struct {
+	tag   int64
+	valid bool
+	dirty bool
+	used  uint64 // LRU clock
+}
+
+// cache is one set-associative write-back cache instance.
+type cache struct {
+	sets      [][]line
+	numSets   int64
+	lineBytes int64
+	clock     uint64
+}
+
+func newCache(cfg LevelConfig) *cache {
+	if cfg.LineBytes <= 0 {
+		cfg.LineBytes = 64
+	}
+	if cfg.Assoc <= 0 {
+		cfg.Assoc = 8
+	}
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	if numSets < 1 {
+		numSets = 1
+	}
+	c := &cache{
+		sets:      make([][]line, numSets),
+		numSets:   int64(numSets),
+		lineBytes: int64(cfg.LineBytes),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	return c
+}
+
+// access looks up the line containing addr. On a hit it refreshes LRU and
+// returns hit=true. On a miss it installs the line, returning the evicted
+// dirty line's address (wbAddr >= 0) if a write-back is needed.
+func (c *cache) access(addr int64, write bool) (hit bool, wbAddr int64) {
+	lineAddr := addr / c.lineBytes
+	set := c.sets[lineAddr%c.numSets]
+	c.clock++
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].used = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			return true, -1
+		}
+	}
+	// Miss: choose the LRU victim.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	wbAddr = -1
+	if set[victim].valid && set[victim].dirty {
+		wbAddr = set[victim].tag * c.lineBytes
+	}
+	set[victim] = line{tag: lineAddr, valid: true, dirty: write, used: c.clock}
+	return false, wbAddr
+}

@@ -1,0 +1,232 @@
+package cachesim
+
+import (
+	"testing"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/grid"
+	"nustencil/internal/stencil"
+	"nustencil/internal/tiling"
+	"nustencil/internal/tiling/corals"
+	"nustencil/internal/tiling/naive"
+	"nustencil/internal/tiling/nucats"
+	"nustencil/internal/tiling/nucorals"
+)
+
+func TestCacheHitMissLRU(t *testing.T) {
+	// Direct test of a tiny 2-way cache: 2 sets × 2 ways × 64B lines.
+	c := newCache(LevelConfig{SizeBytes: 256, LineBytes: 64, Assoc: 2})
+	if hit, _ := c.access(0, false); hit {
+		t.Fatal("cold access hit")
+	}
+	if hit, _ := c.access(8, false); !hit {
+		t.Fatal("same line should hit")
+	}
+	// Fill the set of address 0 (set = (addr/64) % 2 == 0): lines 0, 128.
+	c.access(128, false)
+	if hit, _ := c.access(0, false); !hit {
+		t.Fatal("way 2 should still hold line 0")
+	}
+	// Insert a third line into set 0: evicts LRU (line 128).
+	c.access(256, false)
+	if hit, _ := c.access(128, false); hit {
+		t.Fatal("LRU line should have been evicted")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	c := newCache(LevelConfig{SizeBytes: 128, LineBytes: 64, Assoc: 1}) // 2 sets, direct mapped
+	c.access(0, true)                                                   // dirty line 0 in set 0
+	_, wb := c.access(128, false)                                       // evicts line 0
+	if wb != 0 {
+		t.Fatalf("write-back addr = %d, want 0", wb)
+	}
+	_, wb = c.access(256, false) // evicts clean line 128
+	if wb != -1 {
+		t.Fatalf("clean eviction produced write-back %d", wb)
+	}
+}
+
+func TestSystemLocalRemoteAccounting(t *testing.T) {
+	sys, err := New(Topology{Cores: 4, CoresPerSocket: 2},
+		[]LevelConfig{{Name: "L1", SizeBytes: 1 << 10, LineBytes: 64, Assoc: 2}}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.TouchRange(0, 4096, 0)    // page 0 on node 0
+	sys.TouchRange(4096, 4096, 1) // page 1 on node 1
+	sys.Access(0, 0, false)       // core 0 (node 0) -> local
+	sys.Access(0, 4096, false)    // core 0 -> node 1: remote
+	sys.Access(3, 4096+64, false) // core 3 (node 1) -> local
+	sys.Access(3, 1<<20, false)   // unowned -> remote
+	st := sys.Stats
+	if st.LocalMem != 2 || st.RemoteMem != 2 {
+		t.Fatalf("local/remote = %d/%d", st.LocalMem, st.RemoteMem)
+	}
+	if st.MemByNode[0] != 1 || st.MemByNode[1] != 2 || st.MemByNode[2] != 1 {
+		t.Fatalf("by node = %v", st.MemByNode)
+	}
+	// Re-access hits in L1: no new memory traffic.
+	before := st.MemReads
+	sys.Access(0, 0, false)
+	if sys.Stats.MemReads != before || sys.Stats.HitsPerLevel[0] != 1 {
+		t.Fatal("cached access went to memory")
+	}
+}
+
+func TestSharedLLCVisibleAcrossSocketCores(t *testing.T) {
+	sys, err := New(Topology{Cores: 4, CoresPerSocket: 2}, []LevelConfig{
+		{Name: "L1", SizeBytes: 512, LineBytes: 64, Assoc: 2},
+		{Name: "L2", SizeBytes: 1 << 16, LineBytes: 64, Assoc: 8, SharedPerSocket: true},
+	}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.TouchRange(0, 4096, 0)
+	sys.Access(0, 0, false) // miss everywhere, fills core-0 L1 + socket-0 L2
+	sys.Access(1, 0, false) // same socket: misses L1, hits shared L2
+	if sys.Stats.HitsPerLevel[1] != 1 {
+		t.Fatalf("shared LLC hits = %d, want 1", sys.Stats.HitsPerLevel[1])
+	}
+	sys.Access(2, 0, false) // other socket: misses both, memory again
+	if sys.Stats.MemReads != 2 {
+		t.Fatalf("mem reads = %d, want 2", sys.Stats.MemReads)
+	}
+}
+
+// problem builds a scaled-down replay workload: a 56³ domain against a
+// 128 KiB simulated LLC keeps the same domain-to-cache ratio regime as the
+// paper's 500³ against megabyte caches, while staying cheap to simulate at
+// line granularity (the per-timestep slab of a base parallelogram fits the
+// LLC; the domain does not).
+func problem(workers int) *tiling.Problem {
+	g := grid.New([]int{56, 56, 56})
+	return &tiling.Problem{
+		Grid:              g,
+		Stencil:           stencil.NewStar(3, 1),
+		Timesteps:         12,
+		Workers:           workers,
+		Topo:              affinity.Fixed{Cores: workers, Nodes: 2},
+		LLCBytesPerWorker: 128 << 10,
+	}
+}
+
+func tinyLevels() []LevelConfig {
+	return []LevelConfig{
+		{Name: "L1", SizeBytes: 8 << 10, LineBytes: 64, Assoc: 4},
+		{Name: "LLC", SizeBytes: 128 << 10, LineBytes: 64, Assoc: 8},
+	}
+}
+
+// The keystone cross-validation: temporal blocking must show far less
+// memory traffic per update than the naive sweep, on an actual simulated
+// hierarchy rather than the analytic model.
+func TestReplayTemporalBlockingReducesTraffic(t *testing.T) {
+	sysNaive, updNaive, err := Replay(problem(4), naive.New(), tinyLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysBlocked, updBlocked, err := Replay(problem(4),
+		&nucorals.Scheme{Params: nucorals.Params{BaseHeight: 8, BaseExtent: 16, BaseUnitExtent: 56}},
+		tinyLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updNaive != updBlocked || updNaive == 0 {
+		t.Fatalf("update counts differ: %d vs %d", updNaive, updBlocked)
+	}
+	wNaive := sysNaive.Stats.MemWordsPerUpdate(64, updNaive)
+	wBlocked := sysBlocked.Stats.MemWordsPerUpdate(64, updBlocked)
+	t.Logf("mem words/update: naive %.2f, nuCORALS %.2f", wNaive, wBlocked)
+	// The naive sweep re-streams the domain every timestep: ≥ 2 words per
+	// update must reach memory (domain ≫ LLC).
+	if wNaive < 1.5 {
+		t.Errorf("naive traffic %.2f words/update implausibly low", wNaive)
+	}
+	if wBlocked > 0.65*wNaive {
+		t.Errorf("temporal blocking saved too little: %.2f vs naive %.2f", wBlocked, wNaive)
+	}
+}
+
+// nuCATS' wavefront traversal also shows its cache accuracy at line
+// granularity: the simulated memory traffic drops well below the naive
+// sweep, and the traffic stays on the owners' nodes.
+func TestReplayNuCATSWavefront(t *testing.T) {
+	sysNaive, updNaive, err := Replay(problem(4), naive.New(), tinyLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysCats, updCats, err := Replay(problem(4), nucats.New(), tinyLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updNaive != updCats {
+		t.Fatalf("update counts differ: %d vs %d", updNaive, updCats)
+	}
+	wNaive := sysNaive.Stats.MemWordsPerUpdate(64, updNaive)
+	wCats := sysCats.Stats.MemWordsPerUpdate(64, updCats)
+	t.Logf("mem words/update: naive %.2f, nuCATS %.2f", wNaive, wCats)
+	if wCats > 0.7*wNaive {
+		t.Errorf("nuCATS wavefront saved too little: %.2f vs naive %.2f", wCats, wNaive)
+	}
+	if lf := sysCats.Stats.LocalFraction(); lf < 0.8 {
+		t.Errorf("nuCATS local fraction = %.2f", lf)
+	}
+}
+
+// NUMA-aware distribution keeps simulated memory traffic local; the
+// NUMA-ignorant CORALS concentrates it on node 0.
+func TestReplayNUMAPlacement(t *testing.T) {
+	sysAware, _, err := Replay(problem(4), nucorals.New(), tinyLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysIgnorant, _, err := Replay(problem(4), corals.New(), tinyLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lfAware := sysAware.Stats.LocalFraction()
+	lfIgnorant := sysIgnorant.Stats.LocalFraction()
+	t.Logf("local fraction: nuCORALS %.2f, CORALS %.2f", lfAware, lfIgnorant)
+	if lfAware < 0.6 {
+		t.Errorf("NUMA-aware local fraction = %.2f, want ≥ 0.6", lfAware)
+	}
+	if lfIgnorant > lfAware-0.1 {
+		t.Errorf("NUMA-ignorant placement should be clearly less local (%.2f vs %.2f)",
+			lfIgnorant, lfAware)
+	}
+	// All of CORALS' memory traffic lands on node 0 (first-touch by the
+	// master), none on node 1.
+	byNode := sysIgnorant.Stats.MemByNode
+	if byNode[1] != 0 {
+		t.Errorf("NUMA-ignorant traffic on node 1: %d lines", byNode[1])
+	}
+}
+
+// The simulator agrees with the analytic model's structural claim that the
+// naive scheme's traffic sits between SysBandIC's 2 words and SysBand0C's
+// 8 words per update.
+func TestReplayNaiveTrafficWithinAnalyticBounds(t *testing.T) {
+	sys, upd, err := Replay(problem(2), naive.New(), tinyLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sys.Stats.MemWordsPerUpdate(64, upd)
+	if w < 1.5 || w > 10 {
+		t.Errorf("naive words/update = %.2f, want within the paper's [2, 8] envelope", w)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	p := problem(2)
+	p.Workers = 0
+	if _, _, err := Replay(p, naive.New(), tinyLevels()); err == nil {
+		t.Error("invalid problem accepted")
+	}
+	if _, err := New(Topology{}, tinyLevels(), 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := New(Topology{Cores: 1}, nil, 0); err == nil {
+		t.Error("no cache levels accepted")
+	}
+}

@@ -1,0 +1,22 @@
+// Package cliutil holds the small helpers the command-line tools share.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDims parses "130x130x130"-style grid dimensions.
+func ParseDims(s string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dimensions %q (want e.g. 130x130x130)", s)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}

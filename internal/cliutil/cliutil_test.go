@@ -1,0 +1,34 @@
+package cliutil
+
+import "testing"
+
+func TestParseDims(t *testing.T) {
+	good := map[string][]int{
+		"130x130x130": {130, 130, 130},
+		"8x16":        {8, 16},
+		"40":          {40},
+		"10X12":       {10, 12}, // case-insensitive separator
+		" 5 x 6 ":     {5, 6},
+	}
+	for in, want := range good {
+		got, err := ParseDims(in)
+		if err != nil {
+			t.Errorf("ParseDims(%q): %v", in, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("ParseDims(%q) = %v", in, got)
+			continue
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Errorf("ParseDims(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+	for _, bad := range []string{"", "axb", "10x", "0x10", "-4x4", "10,10"} {
+		if _, err := ParseDims(bad); err == nil {
+			t.Errorf("ParseDims(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/spacetime"
+)
+
+// ErrCycle is returned when the tile dependency graph is not a DAG — the
+// tiling is not a legal time skewing.
+var ErrCycle = errors.New("engine: dependency cycle in tiling (illegal time skewing)")
+
+// Exec executes one tile on behalf of worker w and returns the number of
+// point updates performed. The engine guarantees that all tiles the tile
+// flow-depends on have completed (with a happens-before edge), and that no
+// two tiles run concurrently unless the geometry allows it.
+type Exec func(w int, tile *spacetime.Tile) int64
+
+// Config controls a Run.
+type Config struct {
+	// Workers is the number of worker goroutines ("threads" in the paper's
+	// terms). Each worker w is the virtual core w.
+	Workers int
+	// Order is the stencil order s, used to derive dependencies.
+	Order int
+	// Wrap, when non-nil, gives the per-dimension domain extents of a
+	// periodic torus: dependencies wrap across the seams.
+	Wrap []int
+	// Pin locks each worker goroutine to an OS thread and best-effort pins
+	// it to CPU w (Linux). Purely an optimization for real runs.
+	Pin bool
+	// Exec runs a tile. Required.
+	Exec Exec
+}
+
+// Stats reports what each worker did during a Run.
+type Stats struct {
+	Workers          int
+	UpdatesPerWorker []int64
+	TilesPerWorker   []int64
+	// BusyPerWorker is the time each worker spent executing tiles
+	// (excluding waits), for load-imbalance analysis.
+	BusyPerWorker []time.Duration
+	TotalUpdates  int64
+}
+
+// Imbalance returns max/mean of per-worker busy time — 1.0 is a perfectly
+// balanced run. Returns 0 when nothing ran.
+func (s *Stats) Imbalance() float64 {
+	var sum, maxB time.Duration
+	for _, b := range s.BusyPerWorker {
+		sum += b
+		if b > maxB {
+			maxB = b
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.BusyPerWorker))
+	return float64(maxB) / mean
+}
+
+type runState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	tiles      []*spacetime.Tile
+	nDeps      []int
+	dependents [][]int
+
+	ownQ       [][]int // per-worker FIFO of ready tiles it owns
+	sharedQ    []int   // ready tiles with no owner
+	ownHead    []int
+	sharedHead int
+
+	executed int
+	blocked  int
+	failed   bool
+	done     bool
+}
+
+// Run executes the tiling on cfg.Workers workers, respecting the flow
+// dependencies implied by the geometry for a stencil of order cfg.Order.
+// Tiles with Owner >= 0 run only on worker Owner % Workers (data-to-core
+// affinity); tiles with Owner < 0 go to a shared queue any worker may drain
+// (the NUMA-ignorant case). Run returns ErrCycle if the tiling deadlocks.
+func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
+	if cfg.Exec == nil {
+		return nil, errors.New("engine: Config.Exec is required")
+	}
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("engine: workers must be positive, got %d", cfg.Workers)
+	}
+	if len(tiles) == 0 {
+		return &Stats{
+			Workers:          cfg.Workers,
+			UpdatesPerWorker: make([]int64, cfg.Workers),
+			TilesPerWorker:   make([]int64, cfg.Workers),
+			BusyPerWorker:    make([]time.Duration, cfg.Workers),
+		}, nil
+	}
+	spacetime.AssignIDs(tiles)
+	deps := BuildDeps(tiles, cfg.Order, cfg.Wrap)
+
+	st := &runState{
+		tiles:      tiles,
+		nDeps:      make([]int, len(tiles)),
+		dependents: make([][]int, len(tiles)),
+		ownQ:       make([][]int, cfg.Workers),
+		ownHead:    make([]int, cfg.Workers),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	for i, d := range deps {
+		st.nDeps[i] = len(d)
+		for _, j := range d {
+			st.dependents[j] = append(st.dependents[j], i)
+		}
+	}
+	for i := range tiles {
+		if st.nDeps[i] == 0 {
+			st.push(i, cfg.Workers)
+		}
+	}
+
+	stats := &Stats{
+		Workers:          cfg.Workers,
+		UpdatesPerWorker: make([]int64, cfg.Workers),
+		TilesPerWorker:   make([]int64, cfg.Workers),
+		BusyPerWorker:    make([]time.Duration, cfg.Workers),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if cfg.Pin {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+				_ = affinity.PinCurrentThread(w)
+			}
+			st.worker(w, cfg, stats)
+		}(w)
+	}
+	wg.Wait()
+	if st.failed {
+		return nil, ErrCycle
+	}
+	for _, u := range stats.UpdatesPerWorker {
+		stats.TotalUpdates += u
+	}
+	return stats, nil
+}
+
+// push marks tile i ready. Caller holds st.mu (or is in single-threaded
+// setup before workers start).
+func (st *runState) push(i, workers int) {
+	o := st.tiles[i].Owner
+	if o < 0 {
+		st.sharedQ = append(st.sharedQ, i)
+	} else {
+		st.ownQ[o%workers] = append(st.ownQ[o%workers], i)
+	}
+}
+
+// pop returns the next tile for worker w: its own queue first (preserving
+// the tiler's emission order), then the shared queue. Returns -1 if nothing
+// is ready for w. Caller holds st.mu.
+func (st *runState) pop(w int) int {
+	if st.ownHead[w] < len(st.ownQ[w]) {
+		i := st.ownQ[w][st.ownHead[w]]
+		st.ownHead[w]++
+		return i
+	}
+	if st.sharedHead < len(st.sharedQ) {
+		i := st.sharedQ[st.sharedHead]
+		st.sharedHead++
+		return i
+	}
+	return -1
+}
+
+// anyReady reports whether any queue holds an undrained tile. Caller holds
+// st.mu. Used to distinguish "another worker has pending work it has not yet
+// woken up for" from a true dependency cycle.
+func (st *runState) anyReady() bool {
+	if st.sharedHead < len(st.sharedQ) {
+		return true
+	}
+	for w := range st.ownQ {
+		if st.ownHead[w] < len(st.ownQ[w]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *runState) worker(w int, cfg Config, stats *Stats) {
+	for {
+		st.mu.Lock()
+		var i int
+		for {
+			if st.done || st.failed {
+				st.mu.Unlock()
+				return
+			}
+			i = st.pop(w)
+			if i >= 0 {
+				break
+			}
+			st.blocked++
+			if st.blocked == cfg.Workers && !st.anyReady() {
+				// Every worker idle, nothing ready, work remaining: the
+				// graph has a cycle. (If another worker's own queue still
+				// holds a tile, that worker has a pending wakeup from the
+				// push's broadcast, so this is not a deadlock.)
+				st.failed = true
+				st.blocked--
+				st.cond.Broadcast()
+				st.mu.Unlock()
+				return
+			}
+			st.cond.Wait()
+			st.blocked--
+		}
+		st.mu.Unlock()
+
+		t0 := time.Now()
+		n := cfg.Exec(w, st.tiles[i])
+		stats.BusyPerWorker[w] += time.Since(t0)
+		stats.UpdatesPerWorker[w] += n
+		stats.TilesPerWorker[w]++
+
+		st.mu.Lock()
+		st.executed++
+		woke := false
+		for _, d := range st.dependents[i] {
+			st.nDeps[d]--
+			if st.nDeps[d] == 0 {
+				st.push(d, cfg.Workers)
+				woke = true
+			}
+		}
+		if st.executed == len(st.tiles) {
+			st.done = true
+			st.cond.Broadcast()
+		} else if woke {
+			st.cond.Broadcast()
+		}
+		st.mu.Unlock()
+	}
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/spacetime"
+	"nustencil/internal/xsync"
+)
+
+// ErrStaticDeadlock is returned when the static schedule cannot make
+// progress: every worker is spin-waiting on a flag no one will ever set.
+var ErrStaticDeadlock = errors.New("engine: static schedule deadlocked (emission order inconsistent with dependencies)")
+
+// ErrUnownedTile rejects tilings with shared-queue tiles from the static
+// executor, which has no scheduler to assign them.
+var ErrUnownedTile = errors.New("engine: static execution requires every tile to have an owner")
+
+// RunStatic executes the tiling with the paper's literal synchronization
+// structure (Section III-B): each worker walks its own tiles in the
+// tiler's emission order; one completion flag per tile forms the
+// "structure of synchronization flags"; before executing a tile the worker
+// spin-waits on the flags of the tiles it flow-depends on (the local
+// synchronization), and cross-layer ordering emerges from the same flags
+// (the global barrier degenerates to its dependency edges).
+//
+// Unlike Run, there is no scheduler: the schedule is fixed up front, so a
+// tiler whose per-worker emission order is inconsistent with the
+// dependency order deadlocks — which RunStatic detects soundly (if every
+// worker is simultaneously waiting, no flag can ever be set) and reports
+// as ErrStaticDeadlock. All of this repository's NUMA-aware tilers emit in
+// dependency-consistent order; RunStatic exists to demonstrate that and to
+// measure scheduler overhead against Run.
+func RunStatic(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
+	if cfg.Exec == nil {
+		return nil, errors.New("engine: Config.Exec is required")
+	}
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("engine: workers must be positive, got %d", cfg.Workers)
+	}
+	stats := &Stats{
+		Workers:          cfg.Workers,
+		UpdatesPerWorker: make([]int64, cfg.Workers),
+		TilesPerWorker:   make([]int64, cfg.Workers),
+		BusyPerWorker:    make([]time.Duration, cfg.Workers),
+	}
+	if len(tiles) == 0 {
+		return stats, nil
+	}
+	for _, t := range tiles {
+		if t.Owner < 0 {
+			return nil, ErrUnownedTile
+		}
+	}
+	spacetime.AssignIDs(tiles)
+	deps := BuildDeps(tiles, cfg.Order, cfg.Wrap)
+
+	flags := xsync.NewFlagTable(len(tiles))
+	lists := make([][]int, cfg.Workers)
+	for i, t := range tiles {
+		w := t.Owner % cfg.Workers
+		lists[w] = append(lists[w], i)
+	}
+
+	var waiting, finished atomic.Int32
+	var progress atomic.Int64
+	var deadlocked atomic.Bool
+
+	// waitFlag spin-waits for flag i, detecting global deadlock: if every
+	// worker is waiting and no tile completes across a long observation
+	// window, no flag can ever be set again (only workers set flags).
+	waitFlag := func(i int) bool {
+		if flags.IsSet(i) {
+			return true
+		}
+		waiting.Add(1)
+		defer waiting.Add(-1)
+		snap := progress.Load()
+		idle := 0
+		for !flags.IsSet(i) {
+			if deadlocked.Load() {
+				return false
+			}
+			runtime.Gosched()
+			if waiting.Load()+finished.Load() == int32(cfg.Workers) && progress.Load() == snap {
+				idle++
+				if idle > 1<<14 {
+					deadlocked.Store(true)
+					return false
+				}
+			} else {
+				idle = 0
+				snap = progress.Load()
+			}
+		}
+		return true
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer finished.Add(1)
+			if cfg.Pin {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+				_ = affinity.PinCurrentThread(w)
+			}
+			for _, i := range lists[w] {
+				for _, d := range deps[i] {
+					if !waitFlag(d) {
+						return
+					}
+				}
+				t0 := time.Now()
+				n := cfg.Exec(w, tiles[i])
+				stats.BusyPerWorker[w] += time.Since(t0)
+				stats.UpdatesPerWorker[w] += n
+				stats.TilesPerWorker[w]++
+				flags.Set(i)
+				progress.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if deadlocked.Load() {
+		return nil, ErrStaticDeadlock
+	}
+	for _, u := range stats.UpdatesPerWorker {
+		stats.TotalUpdates += u
+	}
+	return stats, nil
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nustencil/internal/grid"
+	"nustencil/internal/spacetime"
+)
+
+// Stress: thousands of tiny tiles, more workers than host CPUs, mixed
+// owned/shared tiles — every tile must run exactly once after its deps.
+func TestRunStressManyTilesManyWorkers(t *testing.T) {
+	const (
+		cells     = 240
+		timesteps = 24
+		workers   = 12
+	)
+	r := rand.New(rand.NewSource(77))
+	interior := grid.NewBox([]int{0}, []int{cells})
+	var tiles []*spacetime.Tile
+	for ts := 0; ts < timesteps; ts++ {
+		x := 0
+		for x < cells {
+			w := 1 + r.Intn(20)
+			b := grid.NewBox([]int{x}, []int{min(x+w, cells)})
+			tile := spacetime.NewTileFromBox(b, ts, 1, interior)
+			if r.Intn(3) > 0 {
+				tile.Owner = r.Intn(workers)
+			}
+			tiles = append(tiles, tile)
+			x += w
+		}
+	}
+	spacetime.AssignIDs(tiles)
+	deps := BuildDeps(tiles, 1, nil)
+
+	var mu sync.Mutex
+	doneAt := make([]int, len(tiles))
+	step := 0
+	stats, err := Run(tiles, Config{
+		Workers: workers,
+		Order:   1,
+		Exec: func(w int, tile *spacetime.Tile) int64 {
+			mu.Lock()
+			step++
+			doneAt[tile.ID] = step
+			mu.Unlock()
+			return tile.Updates()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalUpdates != int64(cells*timesteps) {
+		t.Fatalf("updates = %d, want %d", stats.TotalUpdates, cells*timesteps)
+	}
+	for i, ds := range deps {
+		for _, j := range ds {
+			if doneAt[i] < doneAt[j] {
+				t.Fatalf("tile %d finished before dependency %d", i, j)
+			}
+		}
+	}
+	if im := stats.Imbalance(); im < 1 {
+		t.Errorf("imbalance = %v, want >= 1", im)
+	}
+}
+
+// Pin smoke test: pinning must not change results or hang (best-effort on
+// non-Linux and for virtual cores beyond the host).
+func TestRunWithPinning(t *testing.T) {
+	interior := grid.NewBox([]int{0}, []int{40})
+	var tiles []*spacetime.Tile
+	for ts := 0; ts < 4; ts++ {
+		for w := 0; w < 4; w++ {
+			b := grid.NewBox([]int{w * 10}, []int{(w + 1) * 10})
+			tile := spacetime.NewTileFromBox(b, ts, 1, interior)
+			tile.Owner = w
+			tiles = append(tiles, tile)
+		}
+	}
+	stats, err := Run(spacetime.AssignIDs(tiles), Config{
+		Workers: 4,
+		Order:   1,
+		Pin:     true,
+		Exec:    func(int, *spacetime.Tile) int64 { return 1 },
+	})
+	if err != nil || stats.TotalUpdates != 16 {
+		t.Fatalf("pinned run: %v, %v", stats, err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

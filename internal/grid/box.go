@@ -1,0 +1,232 @@
+// Package grid provides N-dimensional double-buffered float64 grids with
+// explicit page-to-NUMA-node ownership, standing in for first-touch page
+// placement that the Go runtime cannot express.
+package grid
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Box is an axis-aligned box in N-dimensional index space.
+// Lo is inclusive, Hi is exclusive. A Box with any Hi[k] <= Lo[k] is empty.
+type Box struct {
+	Lo, Hi []int
+}
+
+// NewBox returns a box spanning [lo, hi) in every dimension.
+// The slices are copied.
+func NewBox(lo, hi []int) Box {
+	if len(lo) != len(hi) {
+		panic(fmt.Sprintf("grid: NewBox dimension mismatch: %d vs %d", len(lo), len(hi)))
+	}
+	return Box{Lo: append([]int(nil), lo...), Hi: append([]int(nil), hi...)}
+}
+
+// BoxOf returns the box [0, dims[k]) in every dimension.
+func BoxOf(dims []int) Box {
+	lo := make([]int, len(dims))
+	return NewBox(lo, dims)
+}
+
+// NumDims returns the number of dimensions of the box.
+func (b Box) NumDims() int { return len(b.Lo) }
+
+// Empty reports whether the box contains no points.
+func (b Box) Empty() bool {
+	for k := range b.Lo {
+		if b.Hi[k] <= b.Lo[k] {
+			return true
+		}
+	}
+	return len(b.Lo) == 0
+}
+
+// Size returns the number of points in the box, or 0 if empty.
+func (b Box) Size() int64 {
+	if b.Empty() {
+		return 0
+	}
+	n := int64(1)
+	for k := range b.Lo {
+		n *= int64(b.Hi[k] - b.Lo[k])
+	}
+	return n
+}
+
+// Extent returns Hi[k]-Lo[k] for dimension k (may be negative if degenerate).
+func (b Box) Extent(k int) int { return b.Hi[k] - b.Lo[k] }
+
+// Contains reports whether the point pt lies inside the box.
+func (b Box) Contains(pt []int) bool {
+	if len(pt) != len(b.Lo) {
+		return false
+	}
+	for k := range pt {
+		if pt[k] < b.Lo[k] || pt[k] >= b.Hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the intersection of b and o. The result may be empty.
+func (b Box) Intersect(o Box) Box {
+	if len(b.Lo) != len(o.Lo) {
+		panic("grid: Intersect dimension mismatch")
+	}
+	r := Box{Lo: make([]int, len(b.Lo)), Hi: make([]int, len(b.Lo))}
+	for k := range b.Lo {
+		r.Lo[k] = max(b.Lo[k], o.Lo[k])
+		r.Hi[k] = min(b.Hi[k], o.Hi[k])
+	}
+	return r
+}
+
+// Intersects reports whether b and o share at least one point. It performs
+// no allocation (unlike Intersect) and is safe for hot paths.
+func (b Box) Intersects(o Box) bool {
+	if len(b.Lo) != len(o.Lo) {
+		panic("grid: Intersects dimension mismatch")
+	}
+	if len(b.Lo) == 0 {
+		return false
+	}
+	for k := range b.Lo {
+		lo, hi := b.Lo[k], b.Hi[k]
+		if o.Lo[k] > lo {
+			lo = o.Lo[k]
+		}
+		if o.Hi[k] < hi {
+			hi = o.Hi[k]
+		}
+		if hi <= lo {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectsGrown reports whether b grown by r intersects o, without
+// allocating.
+func (b Box) IntersectsGrown(r int, o Box) bool {
+	if len(b.Lo) != len(o.Lo) {
+		panic("grid: IntersectsGrown dimension mismatch")
+	}
+	if len(b.Lo) == 0 {
+		return false
+	}
+	for k := range b.Lo {
+		lo, hi := b.Lo[k]-r, b.Hi[k]+r
+		if o.Lo[k] > lo {
+			lo = o.Lo[k]
+		}
+		if o.Hi[k] < hi {
+			hi = o.Hi[k]
+		}
+		if hi <= lo {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsBox reports whether o is entirely inside b. An empty o is
+// contained in any box.
+func (b Box) ContainsBox(o Box) bool {
+	if o.Empty() {
+		return true
+	}
+	for k := range b.Lo {
+		if o.Lo[k] < b.Lo[k] || o.Hi[k] > b.Hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether b and o span the same region. Two empty boxes of the
+// same dimensionality are equal.
+func (b Box) Equal(o Box) bool {
+	if len(b.Lo) != len(o.Lo) {
+		return false
+	}
+	if b.Empty() && o.Empty() {
+		return true
+	}
+	for k := range b.Lo {
+		if b.Lo[k] != o.Lo[k] || b.Hi[k] != o.Hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Shift returns the box translated by delta.
+func (b Box) Shift(delta []int) Box {
+	if len(delta) != len(b.Lo) {
+		panic("grid: Shift dimension mismatch")
+	}
+	r := Box{Lo: make([]int, len(b.Lo)), Hi: make([]int, len(b.Lo))}
+	for k := range b.Lo {
+		r.Lo[k] = b.Lo[k] + delta[k]
+		r.Hi[k] = b.Hi[k] + delta[k]
+	}
+	return r
+}
+
+// Grow returns the box expanded by r in every direction of every dimension.
+// A negative r shrinks the box.
+func (b Box) Grow(r int) Box {
+	g := Box{Lo: make([]int, len(b.Lo)), Hi: make([]int, len(b.Lo))}
+	for k := range b.Lo {
+		g.Lo[k] = b.Lo[k] - r
+		g.Hi[k] = b.Hi[k] + r
+	}
+	return g
+}
+
+// Clone returns a deep copy of the box.
+func (b Box) Clone() Box {
+	return Box{Lo: append([]int(nil), b.Lo...), Hi: append([]int(nil), b.Hi...)}
+}
+
+// SplitAt cuts the box at coordinate c along dimension k and returns the two
+// halves [Lo[k], c) and [c, Hi[k)). c is clamped into [Lo[k], Hi[k]], so one
+// half may be empty.
+func (b Box) SplitAt(k, c int) (lo, hi Box) {
+	if c < b.Lo[k] {
+		c = b.Lo[k]
+	}
+	if c > b.Hi[k] {
+		c = b.Hi[k]
+	}
+	lo, hi = b.Clone(), b.Clone()
+	lo.Hi[k] = c
+	hi.Lo[k] = c
+	return lo, hi
+}
+
+// LongestDim returns the dimension with the largest extent, preferring the
+// lowest index on ties.
+func (b Box) LongestDim() int {
+	best, bestExt := 0, b.Extent(0)
+	for k := 1; k < len(b.Lo); k++ {
+		if e := b.Extent(k); e > bestExt {
+			best, bestExt = k, e
+		}
+	}
+	return best
+}
+
+// String renders the box as [lo0,hi0)x[lo1,hi1)x...
+func (b Box) String() string {
+	var sb strings.Builder
+	for k := range b.Lo {
+		if k > 0 {
+			sb.WriteByte('x')
+		}
+		fmt.Fprintf(&sb, "[%d,%d)", b.Lo[k], b.Hi[k])
+	}
+	return sb.String()
+}

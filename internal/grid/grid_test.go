@@ -1,0 +1,247 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGridShape(t *testing.T) {
+	g := New([]int{4, 5, 6})
+	if g.NumDims() != 3 || g.Len() != 120 {
+		t.Fatalf("shape wrong: dims=%v len=%d", g.Dims(), g.Len())
+	}
+	// Row-major: last dimension unit stride.
+	if g.Stride(2) != 1 || g.Stride(1) != 6 || g.Stride(0) != 30 {
+		t.Fatalf("strides = %d,%d,%d", g.Stride(0), g.Stride(1), g.Stride(2))
+	}
+	if !g.Bounds().Equal(NewBox([]int{0, 0, 0}, []int{4, 5, 6})) {
+		t.Errorf("Bounds = %v", g.Bounds())
+	}
+	if !g.Interior(1).Equal(NewBox([]int{1, 1, 1}, []int{3, 4, 5})) {
+		t.Errorf("Interior(1) = %v", g.Interior(1))
+	}
+}
+
+func TestNewGridPanics(t *testing.T) {
+	for _, dims := range [][]int{{}, {0}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) should panic", dims)
+				}
+			}()
+			New(dims)
+		}()
+	}
+}
+
+func TestIndexCoordsRoundTrip(t *testing.T) {
+	g := New([]int{3, 7, 5})
+	pt := make([]int, 3)
+	for i := 0; i < g.Len(); i++ {
+		g.Coords(i, pt)
+		if got := g.Index(pt); got != i {
+			t.Fatalf("round trip failed: %d -> %v -> %d", i, pt, got)
+		}
+	}
+}
+
+func TestAtSet(t *testing.T) {
+	g := New([]int{4, 4})
+	g.Set(0, []int{2, 3}, 7.5)
+	if got := g.At(0, []int{2, 3}); got != 7.5 {
+		t.Fatalf("At = %v", got)
+	}
+	if got := g.At(1, []int{2, 3}); got != 0 {
+		t.Fatalf("other buffer should be untouched, got %v", got)
+	}
+	// Buffer index is taken mod 2.
+	g.Set(3, []int{0, 0}, 1.5)
+	if got := g.At(1, []int{0, 0}); got != 1.5 {
+		t.Fatalf("buffer 3 should alias buffer 1, got %v", got)
+	}
+}
+
+func TestFillFunc(t *testing.T) {
+	g := New([]int{3, 3})
+	g.FillFunc(func(pt []int) float64 { return float64(pt[0]*10 + pt[1]) })
+	for b := 0; b < 2; b++ {
+		if got := g.At(b, []int{2, 1}); got != 21 {
+			t.Fatalf("buffer %d: got %v, want 21", b, got)
+		}
+	}
+}
+
+func TestForEachRowCoversBoxExactlyOnce(t *testing.T) {
+	g := New([]int{5, 6, 7})
+	b := NewBox([]int{1, 2, 3}, []int{4, 5, 6})
+	seen := make(map[int]int)
+	g.ForEachRow(b, func(off, length int, pt []int) {
+		if length != 3 {
+			t.Fatalf("row length = %d, want 3", length)
+		}
+		for i := 0; i < length; i++ {
+			seen[off+i]++
+		}
+	})
+	if int64(len(seen)) != b.Size() {
+		t.Fatalf("covered %d elements, want %d", len(seen), b.Size())
+	}
+	pt := make([]int, 3)
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("offset %d visited %d times", idx, n)
+		}
+		if !b.Contains(g.Coords(idx, pt)) {
+			t.Fatalf("offset %d outside box", idx)
+		}
+	}
+}
+
+func TestForEachRowEmptyBox(t *testing.T) {
+	g := New([]int{4, 4})
+	calls := 0
+	g.ForEachRow(NewBox([]int{2, 2}, []int{2, 4}), func(int, int, []int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("empty box produced %d calls", calls)
+	}
+}
+
+// Property: for random sub-boxes, ForEachRow visits exactly Size() elements,
+// each once, all inside the box.
+func TestForEachRowProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		nd := 1 + rr.Intn(3)
+		dims := make([]int, nd)
+		for k := range dims {
+			dims[k] = 1 + rr.Intn(6)
+		}
+		g := New(dims)
+		b := randBox(rr, nd, 8).Intersect(g.Bounds())
+		count := int64(0)
+		ok := true
+		pt := make([]int, nd)
+		g.ForEachRow(b, func(off, length int, _ []int) {
+			count += int64(length)
+			for i := 0; i < length; i++ {
+				if !b.Contains(g.Coords(off+i, pt)) {
+					ok = false
+				}
+			}
+		})
+		return ok && count == b.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New([]int{4, 4})
+	g.Set(0, []int{1, 1}, 3)
+	g.Touch(g.Bounds(), 2)
+	c := g.Clone()
+	c.Set(0, []int{1, 1}, 9)
+	if g.At(0, []int{1, 1}) != 3 {
+		t.Error("clone write leaked into original")
+	}
+	if c.OwnerOf([]int{1, 1}) != 2 {
+		t.Error("clone should copy ownership")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := New([]int{3, 3})
+	b := New([]int{3, 3})
+	a.Set(0, []int{2, 2}, 1.5)
+	b.Set(0, []int{2, 2}, -0.5)
+	if got := a.MaxAbsDiff(0, b, 0); got != 2 {
+		t.Fatalf("MaxAbsDiff = %v, want 2", got)
+	}
+	if got := a.MaxAbsDiff(1, b, 1); got != 0 {
+		t.Fatalf("identical buffers diff = %v", got)
+	}
+}
+
+func TestOwnershipFirstTouch(t *testing.T) {
+	g := NewWithPageSize([]int{4, 8}, 4) // 8 pages of 4 elements
+	upper := NewBox([]int{0, 0}, []int{2, 8})
+	lower := NewBox([]int{2, 0}, []int{4, 8})
+	g.Touch(upper, 0)
+	g.Touch(lower, 1)
+	if got := g.OwnerOf([]int{0, 5}); got != 0 {
+		t.Errorf("upper owner = %d, want 0", got)
+	}
+	if got := g.OwnerOf([]int{3, 0}); got != 1 {
+		t.Errorf("lower owner = %d, want 1", got)
+	}
+	// First touch wins: re-touching with a different node is a no-op.
+	g.Touch(upper, 1)
+	if got := g.OwnerOf([]int{0, 0}); got != 0 {
+		t.Errorf("owner after re-touch = %d, want 0", got)
+	}
+}
+
+func TestOwnershipCountAndLocalFraction(t *testing.T) {
+	g := NewWithPageSize([]int{2, 8}, 4)         // rows of 8 = 2 pages each
+	g.Touch(NewBox([]int{0, 0}, []int{1, 8}), 0) // row 0 -> node 0
+	g.Touch(NewBox([]int{1, 0}, []int{2, 8}), 1) // row 1 -> node 1
+	counts := g.OwnershipCount(g.Bounds(), 2)
+	if counts[0] != 8 || counts[1] != 8 || counts[2] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if f := g.LocalFraction(g.Bounds(), 0, 2); f != 0.5 {
+		t.Errorf("LocalFraction = %v, want 0.5", f)
+	}
+	if f := g.LocalFraction(NewBox([]int{0, 0}, []int{1, 8}), 0, 2); f != 1 {
+		t.Errorf("row-0 LocalFraction = %v, want 1", f)
+	}
+	// Empty box: nothing remote.
+	if f := g.LocalFraction(NewBox([]int{0, 0}, []int{0, 0}), 0, 2); f != 1 {
+		t.Errorf("empty LocalFraction = %v, want 1", f)
+	}
+}
+
+func TestOwnershipUntouchedCountsAsRemote(t *testing.T) {
+	g := NewWithPageSize([]int{2, 4}, 4)
+	counts := g.OwnershipCount(g.Bounds(), 2)
+	if counts[2] != 8 {
+		t.Fatalf("untouched counts = %v", counts)
+	}
+	if f := g.LocalFraction(g.Bounds(), 0, 2); f != 0 {
+		t.Errorf("untouched LocalFraction = %v, want 0", f)
+	}
+	g.TouchAll(1)
+	if f := g.LocalFraction(g.Bounds(), 1, 2); f != 1 {
+		t.Errorf("after TouchAll LocalFraction = %v, want 1", f)
+	}
+}
+
+// Property: OwnershipCount over any box sums to the box size.
+func TestOwnershipCountSumsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		nd := 1 + rr.Intn(3)
+		dims := make([]int, nd)
+		for k := range dims {
+			dims[k] = 1 + rr.Intn(6)
+		}
+		g := NewWithPageSize(dims, 1+rr.Intn(8))
+		numNodes := 1 + rr.Intn(4)
+		for i := 0; i < 4; i++ {
+			g.Touch(randBox(rr, nd, 8).Intersect(g.Bounds()), rr.Intn(numNodes))
+		}
+		b := randBox(rr, nd, 8).Intersect(g.Bounds())
+		counts := g.OwnershipCount(b, numNodes)
+		var sum int64
+		for _, c := range counts {
+			sum += c
+		}
+		return sum == b.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

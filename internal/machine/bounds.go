@@ -1,0 +1,38 @@
+package machine
+
+import (
+	"nustencil/internal/stencil"
+)
+
+// Bounds computes the paper's analytic benchmark lines (Section IV-A) for a
+// stencil on this machine. All return Gupdates/s aggregate for n cores;
+// divide by n for the per-core values the figures plot.
+
+// PeakDPUpdates is the computational roofline: measured peak DP FLOPS
+// divided by the stencil's flops per update.
+func (m *Machine) PeakDPUpdates(st *stencil.Stencil, n int) float64 {
+	return m.PeakDP(n) / float64(st.FlopsPerUpdate())
+}
+
+// LL1Band0C: last-level cache bandwidth with zero further caching. Every
+// kernel execution performs ReadsPerUpdate reads and 1 write against the
+// LLC (7+1 for the constant 7-point stencil, 14+1 banded).
+func (m *Machine) LL1Band0C(st *stencil.Stencil, n int) float64 {
+	bytes := float64(st.ReadsPerUpdate()+1) * 8
+	return m.LLCBandwidth(n) / bytes
+}
+
+// SysBandIC: system bandwidth with ideal caching. Only compulsory traffic
+// reaches main memory: IdealReadsPerUpdate reads and 1 write (1+1 constant,
+// 8+1 banded).
+func (m *Machine) SysBandIC(st *stencil.Stencil, n int) float64 {
+	bytes := float64(st.IdealReadsPerUpdate()+1) * 8
+	return m.SysBandwidth(n) / bytes
+}
+
+// SysBand0C: system bandwidth with zero caching. Every access goes to main
+// memory: ReadsPerUpdate reads and 1 write.
+func (m *Machine) SysBand0C(st *stencil.Stencil, n int) float64 {
+	bytes := float64(st.ReadsPerUpdate()+1) * 8
+	return m.SysBandwidth(n) / bytes
+}

@@ -1,0 +1,75 @@
+package machine
+
+import (
+	"fmt"
+)
+
+// Spec describes a machine to model from explicit (e.g. measured)
+// parameters, the generalization of the two built-in Table I testbeds.
+type Spec struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+	FreqGHz        float64
+	Caches         []CacheLevel
+
+	// SysBandwidthAnchors are (cores, aggregate GB/s) measurements of a
+	// STREAM COPY sweep; they must be strictly increasing in cores and
+	// include 1 core. The last anchor defines SysBandwidthAgg.
+	SysBandwidthAnchors []BandwidthPoint
+	// PeakDPAgg is the measured all-core double-precision peak in GFLOPS.
+	PeakDPAgg float64
+	// RemoteFactor is the interconnect efficiency (default 0.65).
+	RemoteFactor float64
+}
+
+// BandwidthPoint is one measured point of the bandwidth scaling curve.
+type BandwidthPoint struct {
+	Cores int
+	GBps  float64
+}
+
+// New builds a Machine from a Spec, validating it.
+func New(spec Spec) (*Machine, error) {
+	if spec.Sockets < 1 || spec.CoresPerSocket < 1 {
+		return nil, fmt.Errorf("machine: bad topology %d×%d", spec.Sockets, spec.CoresPerSocket)
+	}
+	if len(spec.Caches) == 0 {
+		return nil, fmt.Errorf("machine: at least one cache level required")
+	}
+	if len(spec.SysBandwidthAnchors) == 0 {
+		return nil, fmt.Errorf("machine: bandwidth anchors required")
+	}
+	if spec.SysBandwidthAnchors[0].Cores != 1 {
+		return nil, fmt.Errorf("machine: first bandwidth anchor must be 1 core")
+	}
+	if spec.PeakDPAgg <= 0 {
+		return nil, fmt.Errorf("machine: peak DP must be positive")
+	}
+	prev := BandwidthPoint{}
+	for _, a := range spec.SysBandwidthAnchors {
+		if a.Cores <= prev.Cores || a.GBps < prev.GBps || a.GBps <= 0 {
+			return nil, fmt.Errorf("machine: bandwidth anchors must increase (%+v after %+v)", a, prev)
+		}
+		prev = a
+	}
+	last := spec.SysBandwidthAnchors[len(spec.SysBandwidthAnchors)-1]
+	base := spec.SysBandwidthAnchors[0].GBps
+	m := &Machine{
+		Name:            spec.Name,
+		Sockets:         spec.Sockets,
+		CoresPerSocket:  spec.CoresPerSocket,
+		FreqGHz:         spec.FreqGHz,
+		Caches:          append([]CacheLevel(nil), spec.Caches...),
+		SysBandwidthAgg: last.GBps,
+		PeakDPAgg:       spec.PeakDPAgg,
+		RemoteFactor:    spec.RemoteFactor,
+	}
+	if m.RemoteFactor <= 0 || m.RemoteFactor > 1 {
+		m.RemoteFactor = 0.65
+	}
+	for _, a := range spec.SysBandwidthAnchors {
+		m.sysScale = append(m.sysScale, scalePoint{a.Cores, a.GBps / base})
+	}
+	return m, nil
+}

@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"nustencil/internal/stencil"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Name:           "test box",
+		Sockets:        2,
+		CoresPerSocket: 4,
+		Caches: []CacheLevel{
+			{Name: "L1", SizeBytes: 32 << 10, AggBandwidth: 100},
+			{Name: "L2", SizeBytes: 1 << 20, AggBandwidth: 50},
+		},
+		SysBandwidthAnchors: []BandwidthPoint{{1, 5}, {2, 8}, {4, 12}, {8, 16}},
+		PeakDPAgg:           40,
+	}
+}
+
+func TestNewFromSpec(t *testing.T) {
+	m, err := New(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCores() != 8 || m.NumNodes() != 2 {
+		t.Errorf("topology %d cores %d nodes", m.NumCores(), m.NumNodes())
+	}
+	if math.Abs(m.SysBandwidth(8)-16) > 1e-9 {
+		t.Errorf("B(8) = %v", m.SysBandwidth(8))
+	}
+	if math.Abs(m.SysBandwidth(1)-5) > 1e-9 {
+		t.Errorf("B(1) = %v", m.SysBandwidth(1))
+	}
+	if math.Abs(m.SysBandwidth(2)-8) > 1e-9 {
+		t.Errorf("B(2) = %v", m.SysBandwidth(2))
+	}
+	// Interpolated point stays between anchors.
+	if b := m.SysBandwidth(3); b <= 8 || b >= 12 {
+		t.Errorf("B(3) = %v, want in (8,12)", b)
+	}
+	if m.RemoteFactor != 0.65 {
+		t.Errorf("default remote factor = %v", m.RemoteFactor)
+	}
+}
+
+func TestNewSpecValidation(t *testing.T) {
+	breakers := []func(*Spec){
+		func(s *Spec) { s.Sockets = 0 },
+		func(s *Spec) { s.Caches = nil },
+		func(s *Spec) { s.SysBandwidthAnchors = nil },
+		func(s *Spec) { s.SysBandwidthAnchors[0].Cores = 2 },
+		func(s *Spec) { s.PeakDPAgg = 0 },
+		func(s *Spec) { s.SysBandwidthAnchors[2].GBps = 1 },  // decreasing
+		func(s *Spec) { s.SysBandwidthAnchors[2].Cores = 2 }, // non-increasing cores
+	}
+	for i, br := range breakers {
+		s := validSpec()
+		br(&s)
+		if _, err := New(s); err == nil {
+			t.Errorf("broken spec %d accepted", i)
+		}
+	}
+}
+
+func TestFromHost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures the host")
+	}
+	m, err := FromHost(HostOptions{StreamElements: 1 << 18, PeakDuration: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCores() < 1 || m.SysBandwidth(m.NumCores()) <= 0 || m.PeakDPAgg <= 0 {
+		t.Errorf("degenerate host model: %s", m)
+	}
+	if m.LLC().SizeBytes <= 0 || m.LLC().AggBandwidth <= 0 {
+		t.Errorf("degenerate LLC: %+v", m.LLC())
+	}
+	// The host model must be usable by the bound formulas.
+	if m.LL1Band0C(stencil.NewStar(3, 1), m.NumCores()) <= 0 {
+		t.Error("host bounds unusable")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"32K": 32 << 10, "18432K": 18432 << 10, "2M": 2 << 20,
+		"1G": 1 << 30, "123": 123, "": 0, "xK": 0,
+	}
+	for in, want := range cases {
+		if got := parseSize(in); got != want {
+			t.Errorf("parseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package machine
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"nustencil/internal/stream"
+)
+
+// HostOptions tune the host measurement.
+type HostOptions struct {
+	// StreamElements per array for the bandwidth sweep (default 4<<20).
+	StreamElements int
+	// PeakDuration per peak trial (default 50ms).
+	PeakDuration time.Duration
+}
+
+// FromHost measures the machine this process runs on — STREAM COPY sweep
+// for the bandwidth scaling anchors, a multiply-add loop for PeakDP, and
+// /sys (Linux, best effort) for the cache hierarchy and socket count — and
+// returns a Machine model usable with the cost model. This is how the
+// paper's Table I numbers were obtained on its testbeds.
+func FromHost(opts HostOptions) (*Machine, error) {
+	cores := runtime.NumCPU()
+	sockets := hostSockets(cores)
+	cps := cores / sockets
+	if cps < 1 {
+		cps = 1
+	}
+
+	var anchors []BandwidthPoint
+	for n := 1; n <= cores; n *= 2 {
+		r := stream.Copy(stream.Config{Elements: opts.StreamElements, Workers: n})
+		bw := r.GBps()
+		// Guard monotonicity against measurement noise: aggregate bandwidth
+		// never decreases when adding streams in this model.
+		if len(anchors) > 0 && bw < anchors[len(anchors)-1].GBps {
+			bw = anchors[len(anchors)-1].GBps
+		}
+		anchors = append(anchors, BandwidthPoint{Cores: n, GBps: bw})
+	}
+	if anchors[len(anchors)-1].Cores != cores {
+		r := stream.Copy(stream.Config{Elements: opts.StreamElements, Workers: cores})
+		bw := r.GBps()
+		if bw < anchors[len(anchors)-1].GBps {
+			bw = anchors[len(anchors)-1].GBps
+		}
+		anchors = append(anchors, BandwidthPoint{Cores: cores, GBps: bw})
+	}
+
+	caches := hostCaches()
+	if len(caches) == 0 {
+		caches = []CacheLevel{{Name: "LLC", SizeBytes: 1 << 20}}
+	}
+	// Approximate cache bandwidth: COPY on arrays a quarter of the LLC.
+	llc := caches[len(caches)-1]
+	elems := int(llc.SizeBytes / 4 / 8)
+	if elems < 1<<10 {
+		elems = 1 << 10
+	}
+	cacheCopy := stream.Copy(stream.Config{Elements: elems * cores, Workers: cores, Trials: 5})
+	for i := range caches {
+		if caches[i].AggBandwidth == 0 {
+			caches[i].AggBandwidth = cacheCopy.GBps()
+		}
+	}
+
+	peak := stream.PeakDP(cores, opts.PeakDuration)
+
+	return New(Spec{
+		Name:                "host (" + runtime.GOARCH + ")",
+		Sockets:             sockets,
+		CoresPerSocket:      cps,
+		Caches:              caches,
+		SysBandwidthAnchors: anchors,
+		PeakDPAgg:           peak,
+	})
+}
+
+// hostSockets counts distinct physical packages via /sys, defaulting to 1.
+func hostSockets(cores int) int {
+	seen := map[string]bool{}
+	for c := 0; c < cores; c++ {
+		b, err := os.ReadFile("/sys/devices/system/cpu/cpu" + strconv.Itoa(c) +
+			"/topology/physical_package_id")
+		if err != nil {
+			return 1
+		}
+		seen[strings.TrimSpace(string(b))] = true
+	}
+	if len(seen) == 0 {
+		return 1
+	}
+	if cores%len(seen) != 0 {
+		return 1 // irregular topology: model as one node
+	}
+	return len(seen)
+}
+
+// hostCaches reads cpu0's cache hierarchy from /sys (Linux), skipping
+// instruction caches. Missing information yields nil.
+func hostCaches() []CacheLevel {
+	var caches []CacheLevel
+	for i := 0; ; i++ {
+		dir := "/sys/devices/system/cpu/cpu0/cache/index" + strconv.Itoa(i)
+		typ, err := os.ReadFile(dir + "/type")
+		if err != nil {
+			break
+		}
+		if strings.TrimSpace(string(typ)) == "Instruction" {
+			continue
+		}
+		level := readTrim(dir + "/level")
+		size := readTrim(dir + "/size")
+		bytes := parseSize(size)
+		if bytes <= 0 {
+			continue
+		}
+		shared := strings.Contains(readTrim(dir+"/shared_cpu_list"), "-") ||
+			strings.Contains(readTrim(dir+"/shared_cpu_list"), ",")
+		caches = append(caches, CacheLevel{
+			Name:            "L" + level,
+			SizeBytes:       bytes,
+			SharedPerSocket: shared,
+		})
+	}
+	return caches
+}
+
+func readTrim(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// parseSize parses "32K", "18432K", "2M" style /sys cache sizes.
+func parseSize(s string) int64 {
+	if s == "" {
+		return 0
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v * mult
+}

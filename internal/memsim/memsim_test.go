@@ -1,0 +1,253 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+
+	"nustencil/internal/machine"
+	"nustencil/internal/stencil"
+)
+
+func wl(m *machine.Machine, st *stencil.Stencil, side, timesteps, cores int) *Workload {
+	d := side + 2*st.Order
+	return &Workload{
+		Machine: m, Stencil: st,
+		Dims: []int{d, d, d}, Timesteps: timesteps, Cores: cores,
+	}
+}
+
+// weak builds the weak-scaling workload: one cube of volume n·200³.
+func weak(m *machine.Machine, st *stencil.Stencil, cores int) *Workload {
+	side := int(math.Round(200 * math.Cbrt(float64(cores))))
+	return wl(m, st, side, 100, cores)
+}
+
+func gflops(m Model, w *Workload) float64 {
+	return Predict(m, w).GFLOPS()
+}
+
+func TestWorkloadBasics(t *testing.T) {
+	st := stencil.NewStar(3, 1)
+	w := wl(machine.XeonX7550(), st, 160, 100, 8)
+	if got := w.Updates(); got != int64(160*160*160)*100 {
+		t.Errorf("Updates = %d", got)
+	}
+	if w.UnitExtent() != 160 {
+		t.Errorf("UnitExtent = %d", w.UnitExtent())
+	}
+	if w.CellWords() != 2 {
+		t.Errorf("CellWords = %v", w.CellWords())
+	}
+	b := &Workload{Machine: w.Machine, Stencil: stencil.NewBandedStar(3, 1),
+		Dims: w.Dims, Timesteps: 100, Cores: 8}
+	if b.CellWords() != 9 {
+		t.Errorf("banded CellWords = %v", b.CellWords())
+	}
+	// Shared L3: the share shrinks as the socket fills.
+	w1 := wl(machine.XeonX7550(), st, 160, 100, 1)
+	if w1.LLCShare() <= w.LLCShare() {
+		t.Error("LLC share must shrink with socket occupancy")
+	}
+}
+
+func TestPredictMechanics(t *testing.T) {
+	st := stencil.NewStar(3, 1)
+	w := wl(machine.XeonX7550(), st, 160, 100, 4)
+	r := Predict(NaiveModel{}, w)
+	if r.Seconds <= 0 || r.Gupdates() <= 0 {
+		t.Fatalf("degenerate prediction: %+v", r)
+	}
+	if r.Traffic == nil || r.Traffic.Bottleneck == "" {
+		t.Fatal("prediction must attribute a bottleneck")
+	}
+	if r.Scheme != "NaiveSSE" || r.Cores != 4 {
+		t.Error("result metadata wrong")
+	}
+	// A parallelism-capped traffic slows the prediction down.
+	base := Predict(CATSModel{}, w).Seconds
+	tr := CATSModel{}.Traffic(w)
+	if tr.ParallelFrac > 0 && tr.ParallelFrac < 1 && base <= Predict(CATSModel{NUMA: true}, w).Seconds {
+		t.Log("CATS parallel cap active (informational)")
+	}
+	_ = base
+}
+
+func TestBoundResult(t *testing.T) {
+	st := stencil.NewStar(3, 1)
+	w := wl(machine.XeonX7550(), st, 160, 100, 32)
+	b := BoundResult("LL1Band0C", w.Machine.LL1Band0C(st, 32), w)
+	if math.Abs(b.GFLOPS()-119.6) > 0.5 {
+		t.Errorf("LL1Band0C bound = %.1f GFLOPS", b.GFLOPS())
+	}
+}
+
+// within asserts a predicted GFLOPS is within a factor band of the paper's
+// caption value: the model must land in the right regime, not on the exact
+// number (the testbed is simulated).
+func within(t *testing.T, name string, got, want, loFactor, hiFactor float64) {
+	t.Helper()
+	if got < want*loFactor || got > want*hiFactor {
+		t.Errorf("%s = %.1f GFLOPS, paper %.1f (accepted band %.1f–%.1f)",
+			name, got, want, want*loFactor, want*hiFactor)
+	}
+}
+
+// Figure 5 (weak, constant, Xeon, 32 cores) caption GFLOPS:
+// nuCORALS 83.4, nuCATS 92.7, NaiveSSE 22.9.
+func TestFig5CaptionsXeonWeak(t *testing.T) {
+	m := machine.XeonX7550()
+	st := stencil.NewStar(3, 1)
+	w := weak(m, st, 32)
+	within(t, "nuCORALS", gflops(NuCORALSModel{}, w), 83.4, 0.6, 1.6)
+	within(t, "nuCATS", gflops(CATSModel{NUMA: true}, w), 92.7, 0.6, 1.6)
+	within(t, "NaiveSSE", gflops(NaiveModel{}, w), 22.9, 0.6, 1.6)
+}
+
+// Figure 4 (weak, constant, Opteron, 16 cores): nuCORALS 22.4, nuCATS 26.8,
+// NaiveSSE 4.6.
+func TestFig4CaptionsOpteronWeak(t *testing.T) {
+	m := machine.Opteron8222()
+	st := stencil.NewStar(3, 1)
+	w := weak(m, st, 16)
+	within(t, "nuCORALS", gflops(NuCORALSModel{}, w), 22.4, 0.55, 1.7)
+	within(t, "nuCATS", gflops(CATSModel{NUMA: true}, w), 26.8, 0.55, 1.7)
+	within(t, "NaiveSSE", gflops(NaiveModel{}, w), 4.6, 0.6, 1.6)
+}
+
+// Figure 20 (weak, constant, Xeon, 32 cores) adds the literature schemes:
+// CATS 52, CORALS 16.7, Pochoir 29.9, PLuTo 21.3.
+func TestFig20LiteratureSchemes(t *testing.T) {
+	m := machine.XeonX7550()
+	st := stencil.NewStar(3, 1)
+	w := weak(m, st, 32)
+	within(t, "CATS", gflops(CATSModel{}, w), 52, 0.55, 1.7)
+	within(t, "CORALS", gflops(CORALSModel{}, w), 16.7, 0.55, 1.8)
+	within(t, "Pochoir", gflops(CORALSModel{Pochoir: true}, w), 29.9, 0.55, 1.7)
+	within(t, "PLuTo", gflops(DiamondModel{}, w), 21.3, 0.55, 1.8)
+}
+
+// Figure 22 (strong, constant, Xeon 160³, 32 cores): the NUMA cliff on a
+// small domain. nuCORALS 104.8, nuCATS 84.5, CATS 40.3, NaiveSSE 44.7,
+// Pochoir 16.9, PLuTo 13, CORALS 7.2.
+func TestFig22SmallDomainCliff(t *testing.T) {
+	m := machine.XeonX7550()
+	st := stencil.NewStar(3, 1)
+	w := wl(m, st, 160, 100, 32)
+
+	nucorals := gflops(NuCORALSModel{}, w)
+	nucats := gflops(CATSModel{NUMA: true}, w)
+	cats := gflops(CATSModel{}, w)
+	naive := gflops(NaiveModel{}, w)
+	corals := gflops(CORALSModel{}, w)
+	pochoir := gflops(CORALSModel{Pochoir: true}, w)
+	pluto := gflops(DiamondModel{}, w)
+
+	within(t, "nuCORALS", nucorals, 104.8, 0.55, 1.6)
+	within(t, "nuCATS", nucats, 84.5, 0.55, 1.7)
+	within(t, "CATS", cats, 40.3, 0.5, 1.9)
+	within(t, "NaiveSSE", naive, 44.7, 0.5, 1.7)
+
+	// The paper's headline orderings on 32 cores:
+	// the NUMA-aware schemes clearly beat everything NUMA-ignorant…
+	for name, v := range map[string]float64{"CATS": cats, "CORALS": corals, "Pochoir": pochoir, "PLuTo": pluto} {
+		if nucorals < 1.5*v || nucats < 1.5*v {
+			t.Errorf("NUMA-aware advantage missing over %s (%.1f)", name, v)
+		}
+	}
+	// …and the NUMA-aware naive beats the NUMA-ignorant temporal blockers
+	// except CATS ("more than 2.5x faster apart from CATS").
+	for name, v := range map[string]float64{"CORALS": corals, "Pochoir": pochoir, "PLuTo": pluto} {
+		if naive < 1.5*v {
+			t.Errorf("naive should beat %s on 32 cores (naive %.1f vs %.1f)", name, naive, v)
+		}
+	}
+}
+
+// Figure 11 (banded, weak, Xeon, 32 cores): nuCORALS 33.6, nuCATS 17.7,
+// NaiveSSE 8.9 — nuCORALS is the clear winner for banded matrices.
+func TestFig11BandedXeon(t *testing.T) {
+	m := machine.XeonX7550()
+	st := stencil.NewBandedStar(3, 1)
+	w := weak(m, st, 32)
+	nucorals := gflops(NuCORALSModel{}, w)
+	nucats := gflops(CATSModel{NUMA: true}, w)
+	naive := gflops(NaiveModel{}, w)
+	within(t, "nuCORALS", nucorals, 33.6, 0.55, 1.7)
+	within(t, "nuCATS", nucats, 17.7, 0.5, 2.0)
+	within(t, "NaiveSSE", naive, 8.9, 0.55, 1.7)
+	if nucorals <= nucats {
+		t.Errorf("banded: nuCORALS (%.1f) must beat nuCATS (%.1f)", nucorals, nucats)
+	}
+}
+
+// Single-socket sanity: with few cores the NUMA-aware variants track their
+// originals (the schemes start "on par using one core").
+func TestSingleCoreParity(t *testing.T) {
+	m := machine.XeonX7550()
+	st := stencil.NewStar(3, 1)
+	w := wl(m, st, 500, 100, 1)
+	cats := gflops(CATSModel{}, w)
+	nucats := gflops(CATSModel{NUMA: true}, w)
+	if r := nucats / cats; r < 0.8 || r > 1.3 {
+		t.Errorf("1-core nuCATS/CATS = %.2f, want ≈1", r)
+	}
+	corals := gflops(CORALSModel{}, w)
+	nucorals := gflops(NuCORALSModel{}, w)
+	if r := nucorals / corals; r < 0.7 || r > 1.5 {
+		t.Errorf("1-core nuCORALS/CORALS = %.2f, want ≈1", r)
+	}
+}
+
+// nuCORALS beats the LL1Band0C bound at low core counts on the Xeon — the
+// paper's "remarkable result" — and falls below it at 32 cores.
+func TestNuCORALSBeatsLL1BandAtLowCores(t *testing.T) {
+	m := machine.XeonX7550()
+	st := stencil.NewStar(3, 1)
+	for _, n := range []int{1, 2, 4} {
+		w := wl(m, st, 160, 100, n)
+		got := Predict(NuCORALSModel{}, w).Gupdates()
+		bound := m.LL1Band0C(st, n)
+		if got <= bound {
+			t.Errorf("%d cores: nuCORALS %.3f ≤ LL1Band0C %.3f Gup/s", n, got, bound)
+		}
+	}
+	w := wl(m, st, 500, 100, 32)
+	if got, bound := Predict(NuCORALSModel{}, w).Gupdates(), m.LL1Band0C(st, 32); got > bound {
+		t.Errorf("32 cores: nuCORALS %.3f should not beat LL1Band0C %.3f on 500³", got, bound)
+	}
+}
+
+// Weak scalability: nuCATS and nuCORALS hold a high fraction of their
+// single-core per-core performance at full machine size, while the
+// NUMA-ignorant schemes collapse beyond one node.
+func TestScalabilityShape(t *testing.T) {
+	m := machine.XeonX7550()
+	st := stencil.NewStar(3, 1)
+	perCore := func(mod Model, n int) float64 {
+		return Predict(mod, weak(m, st, n)).GupdatesPerCore()
+	}
+	for _, mod := range []Model{CATSModel{NUMA: true}, NuCORALSModel{}} {
+		s1, s32 := perCore(mod, 1), perCore(mod, 32)
+		if eff := s32 / s1 * 32; eff < 16 {
+			t.Errorf("%s speedup at 32 cores = %.1fx, want ≥16x", mod.Name(), eff)
+		}
+	}
+	// CORALS per-core performance drops sharply beyond one socket.
+	c8, c32 := perCore(CORALSModel{}, 8), perCore(CORALSModel{}, 32)
+	if c32 > 0.6*c8 {
+		t.Errorf("CORALS per-core at 32 (%.3f) should collapse vs 8 (%.3f)", c32, c8)
+	}
+}
+
+func TestModelsRegistryComplete(t *testing.T) {
+	ms := Models()
+	for _, name := range []string{"NaiveSSE", "CATS", "nuCATS", "CORALS", "nuCORALS", "Pochoir", "PLuTo"} {
+		mod, ok := ms[name]
+		if !ok {
+			t.Fatalf("missing model %q", name)
+		}
+		if mod.Name() != name {
+			t.Errorf("model %q reports name %q", name, mod.Name())
+		}
+	}
+}

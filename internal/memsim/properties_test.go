@@ -1,0 +1,164 @@
+package memsim
+
+import (
+	"testing"
+
+	"nustencil/internal/machine"
+	"nustencil/internal/stencil"
+)
+
+// Structural properties that must hold for every scheme model on every
+// machine — the cost model's sanity envelope.
+
+func allMachines() []*machine.Machine {
+	return []*machine.Machine{machine.Opteron8222(), machine.XeonX7550()}
+}
+
+// The NUMA-aware schemes (and the NUMA-aware naive sweep) keep gaining
+// aggregate throughput with more cores; the NUMA-ignorant schemes may
+// LOSE overall performance when more sockets engage — the paper's
+// Section IV-G observation ("NUMA ignorance can even lead to a drop in
+// the overall performance: for Pochoir from 16 to 32 cores...").
+func TestAggregateThroughputMonotoneForNUMAAware(t *testing.T) {
+	st := stencil.NewStar(3, 1)
+	aware := []string{"NaiveSSE", "nuCATS", "nuCORALS"}
+	for _, m := range allMachines() {
+		for _, name := range aware {
+			mod := Models()[name]
+			prev := 0.0
+			for n := 1; n <= m.NumCores(); n *= 2 {
+				g := Predict(mod, wl(m, st, 500, 100, n)).Gupdates()
+				if g <= 0 {
+					t.Fatalf("%s on %s with %d cores: rate %v", name, m.Name, n, g)
+				}
+				if g < prev*0.999 {
+					t.Errorf("%s on %s: aggregate rate fell at %d cores (%.3f -> %.3f)",
+						name, m.Name, n, prev, g)
+				}
+				prev = g
+			}
+		}
+	}
+}
+
+// …and the drop does occur for the ignorant schemes, exactly where the
+// paper reports it: Pochoir and CORALS lose overall performance from 16 to
+// 32 Xeon cores on the 500³ domain.
+func TestNUMAIgnoranceDropsOverallPerformance(t *testing.T) {
+	st := stencil.NewStar(3, 1)
+	m := machine.XeonX7550()
+	for _, name := range []string{"CORALS", "Pochoir"} {
+		mod := Models()[name]
+		at16 := Predict(mod, wl(m, st, 500, 100, 16)).Gupdates()
+		at32 := Predict(mod, wl(m, st, 500, 100, 32)).Gupdates()
+		if at32 >= at16 {
+			t.Errorf("%s: 32 cores (%.3f) should be slower overall than 16 (%.3f)",
+				name, at32, at16)
+		}
+	}
+}
+
+func TestPerCoreThroughputNeverExceedsSingleCore(t *testing.T) {
+	st := stencil.NewStar(3, 1)
+	for _, m := range allMachines() {
+		for name, mod := range Models() {
+			base := Predict(mod, wl(m, st, 500, 100, 1)).GupdatesPerCore()
+			for n := 2; n <= m.NumCores(); n *= 2 {
+				pc := Predict(mod, wl(m, st, 500, 100, n)).GupdatesPerCore()
+				if pc > base*1.05 {
+					t.Errorf("%s on %s: per-core at %d cores (%.3f) above single core (%.3f)",
+						name, m.Name, n, pc, base)
+				}
+			}
+		}
+	}
+}
+
+func TestBandedNeverFasterThanConstant(t *testing.T) {
+	c7 := stencil.NewStar(3, 1)
+	b7 := stencil.NewBandedStar(3, 1)
+	for _, m := range allMachines() {
+		for name, mod := range Models() {
+			for _, n := range []int{1, m.NumCores()} {
+				gc := Predict(mod, wl(m, c7, 500, 100, n)).Gupdates()
+				gb := Predict(mod, wl(m, b7, 500, 100, n)).Gupdates()
+				if gb > gc*1.01 {
+					t.Errorf("%s on %s (%d cores): banded %.3f > constant %.3f Gup/s",
+						name, m.Name, n, gb, gc)
+				}
+			}
+		}
+	}
+}
+
+func TestHigherOrderNeverFasterUpdates(t *testing.T) {
+	for _, m := range allMachines() {
+		for name, mod := range Models() {
+			prev := 0.0
+			for _, order := range []int{1, 2, 3} {
+				st := stencil.NewStar(3, order)
+				g := Predict(mod, wl(m, st, 500, 100, m.NumCores())).Gupdates()
+				if order > 1 && g > prev*1.01 {
+					t.Errorf("%s on %s: order %d faster than order %d (%.3f > %.3f)",
+						name, m.Name, order, order-1, g, prev)
+				}
+				prev = g
+			}
+		}
+	}
+}
+
+func TestNoSchemeBeatsComputeRoofline(t *testing.T) {
+	st := stencil.NewStar(3, 1)
+	for _, m := range allMachines() {
+		for name, mod := range Models() {
+			for _, n := range []int{1, m.NumCores()} {
+				g := Predict(mod, wl(m, st, 500, 100, n)).Gupdates()
+				if roof := m.PeakDPUpdates(st, n); g > roof {
+					t.Errorf("%s on %s (%d cores): %.3f beats PeakDP %.3f",
+						name, m.Name, n, g, roof)
+				}
+			}
+		}
+	}
+}
+
+func TestNUMAAwareVariantsAtLeastAsLocal(t *testing.T) {
+	st := stencil.NewStar(3, 1)
+	for _, m := range allMachines() {
+		w := wl(m, st, 500, 100, m.NumCores())
+		pairs := [][2]Model{
+			{CATSModel{NUMA: true}, CATSModel{}},
+			{NuCORALSModel{}, CORALSModel{}},
+		}
+		for _, pair := range pairs {
+			aware := pair[0].Traffic(w)
+			ignorant := pair[1].Traffic(w)
+			if aware.LocalFrac < ignorant.LocalFrac {
+				t.Errorf("%s on %s less local than %s (%.2f vs %.2f)",
+					pair[0].Name(), m.Name, pair[1].Name(),
+					aware.LocalFrac, ignorant.LocalFrac)
+			}
+			if !ignorant.OnNode0 {
+				t.Errorf("%s should place pages on node 0", pair[1].Name())
+			}
+		}
+	}
+}
+
+// Longer runs amortize nothing for the naive sweep but help temporal
+// blocking: nuCATS throughput must not degrade as timesteps grow.
+func TestTemporalBlockingGainsWithTimesteps(t *testing.T) {
+	st := stencil.NewStar(3, 1)
+	m := machine.XeonX7550()
+	short := Predict(CATSModel{NUMA: true}, wl(m, st, 500, 10, 32)).Gupdates()
+	long := Predict(CATSModel{NUMA: true}, wl(m, st, 500, 200, 32)).Gupdates()
+	if long < short*0.99 {
+		t.Errorf("nuCATS with more timesteps got slower: %.3f -> %.3f", short, long)
+	}
+	nShort := Predict(NaiveModel{}, wl(m, st, 500, 10, 32)).Gupdates()
+	nLong := Predict(NaiveModel{}, wl(m, st, 500, 200, 32)).Gupdates()
+	if diff := nLong / nShort; diff < 0.99 || diff > 1.01 {
+		t.Errorf("naive rate should be timestep-independent (ratio %.3f)", diff)
+	}
+}

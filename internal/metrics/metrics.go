@@ -1,0 +1,81 @@
+// Package metrics defines the measurement vocabulary of the paper's
+// figures: giga-updates per second (the primary, stencil-size-independent
+// measure) and GFLOPS (updates × flops per update), both total and
+// per-core, plus the traffic breakdown the cost model attributes.
+package metrics
+
+import (
+	"fmt"
+)
+
+// Result is one measured or predicted data point: a scheme executing a
+// workload on n cores.
+type Result struct {
+	Scheme    string
+	Machine   string
+	Cores     int
+	Dims      []int
+	Timesteps int
+	// Updates is the number of point updates performed.
+	Updates int64
+	// Seconds is the wall-clock (or predicted) execution time.
+	Seconds float64
+	// FlopsPerUpdate converts updates to flops (13 for the 7-point star).
+	FlopsPerUpdate int
+	// Traffic optionally carries the cost model's attribution.
+	Traffic *Traffic
+}
+
+// Gupdates returns total giga-updates per second.
+func (r Result) Gupdates() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Updates) / r.Seconds / 1e9
+}
+
+// GupdatesPerCore returns giga-updates per second per core — the left
+// y-axis of Figures 4–15.
+func (r Result) GupdatesPerCore() float64 {
+	if r.Cores <= 0 {
+		return 0
+	}
+	return r.Gupdates() / float64(r.Cores)
+}
+
+// GFLOPS returns total GFLOPS — the figure-caption numbers.
+func (r Result) GFLOPS() float64 {
+	return r.Gupdates() * float64(r.FlopsPerUpdate)
+}
+
+// GFLOPSPerCore returns GFLOPS per core — the right y-axis of the figures.
+func (r Result) GFLOPSPerCore() float64 {
+	if r.Cores <= 0 {
+		return 0
+	}
+	return r.GFLOPS() / float64(r.Cores)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s on %s, %d cores: %.3f Gup/s (%.3f per core, %.1f GFLOPS)",
+		r.Scheme, r.Machine, r.Cores, r.Gupdates(), r.GupdatesPerCore(), r.GFLOPS())
+}
+
+// Traffic is the cost model's per-update attribution for a prediction.
+type Traffic struct {
+	// MainWords is the average number of float64 words per update that
+	// reach main memory.
+	MainWords float64
+	// LLCWords is the average number of words per update served by the
+	// last-level cache.
+	LLCWords float64
+	// LocalFrac is the fraction of main-memory traffic served by the
+	// requesting core's own NUMA node.
+	LocalFrac float64
+	// Bottleneck names what limited the prediction: "compute", "llc",
+	// "memory", "controller" or "interconnect".
+	Bottleneck string
+	// Overhead is the multiplicative inefficiency applied (control logic,
+	// synchronization, pipeline fill).
+	Overhead float64
+}

@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRates(t *testing.T) {
+	r := Result{
+		Scheme: "nuCORALS", Machine: "test", Cores: 4,
+		Updates: 8e9, Seconds: 2, FlopsPerUpdate: 13,
+	}
+	if got := r.Gupdates(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Gupdates = %v", got)
+	}
+	if got := r.GupdatesPerCore(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("GupdatesPerCore = %v", got)
+	}
+	if got := r.GFLOPS(); math.Abs(got-52) > 1e-12 {
+		t.Errorf("GFLOPS = %v", got)
+	}
+	if got := r.GFLOPSPerCore(); math.Abs(got-13) > 1e-12 {
+		t.Errorf("GFLOPSPerCore = %v", got)
+	}
+}
+
+func TestZeroSafety(t *testing.T) {
+	var r Result
+	if r.Gupdates() != 0 || r.GupdatesPerCore() != 0 || r.GFLOPS() != 0 || r.GFLOPSPerCore() != 0 {
+		t.Error("zero result must report zero rates")
+	}
+	neg := Result{Updates: 10, Seconds: -1, Cores: -2, FlopsPerUpdate: 13}
+	if neg.Gupdates() != 0 || neg.GupdatesPerCore() != 0 {
+		t.Error("degenerate inputs must report zero rates")
+	}
+}
+
+func TestString(t *testing.T) {
+	r := Result{Scheme: "CATS", Machine: "Xeon", Cores: 2, Updates: 2e9, Seconds: 1, FlopsPerUpdate: 13}
+	s := r.String()
+	for _, want := range []string{"CATS", "Xeon", "2 cores", "Gup/s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

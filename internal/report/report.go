@@ -1,0 +1,151 @@
+// Package report renders regenerated experiments as aligned text tables —
+// the rows and series the paper's figures and captions show.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"nustencil/internal/experiments"
+	"nustencil/internal/machine"
+)
+
+// Figure renders a regenerated figure as a table: one row per core count,
+// one column per line, values in Gupdates/s per core (the figures' left
+// y-axis), followed by the caption GFLOPS at full machine size.
+func Figure(d *experiments.Data) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", strings.ToUpper(d.Figure.ID), d.Figure.Title)
+	fmt.Fprintf(&b, "per-core Gupdates/s by core count\n")
+
+	fmt.Fprintf(&b, "%-6s", "cores")
+	for _, ln := range d.Figure.Lines {
+		fmt.Fprintf(&b, " %14s", ln.Label)
+	}
+	b.WriteByte('\n')
+	for j, n := range d.Cores {
+		fmt.Fprintf(&b, "%-6d", n)
+		for i := range d.Figure.Lines {
+			fmt.Fprintf(&b, " %14.4f", d.PerCore[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "GFLOPS with %d cores:", d.Cores[len(d.Cores)-1])
+	for i, ln := range d.Figure.Lines {
+		fmt.Fprintf(&b, " %s %.1f,", ln.Label, d.CaptionGFLOPS[i])
+	}
+	s := b.String()
+	return strings.TrimSuffix(s, ",") + "\n"
+}
+
+// FigureCSV renders a regenerated figure as CSV (cores, then one column
+// per line, per-core Gupdates/s) for external plotting tools.
+func FigureCSV(d *experiments.Data) string {
+	var b strings.Builder
+	b.WriteString("cores")
+	for _, ln := range d.Figure.Lines {
+		fmt.Fprintf(&b, ",%s", strings.ReplaceAll(ln.Label, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for j, n := range d.Cores {
+		fmt.Fprintf(&b, "%d", n)
+		for i := range d.Figure.Lines {
+			fmt.Fprintf(&b, ",%.6f", d.PerCore[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Attribution renders the cost model's bottleneck attribution for a
+// figure's scheme lines: which resource limits each scheme at each core
+// count. This is the paper's Section IV-D argument made explicit — nuCATS
+// "decouples" from main memory when its column flips from memory to llc.
+func Attribution(d *experiments.Data) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: bottleneck attribution\n", strings.ToUpper(d.Figure.ID))
+	fmt.Fprintf(&b, "%-6s", "cores")
+	var labels []string
+	for _, ln := range d.Figure.Lines {
+		if ln.Scheme != "" {
+			labels = append(labels, ln.Label)
+			fmt.Fprintf(&b, " %14s", ln.Label)
+		}
+	}
+	b.WriteByte('\n')
+	for _, n := range d.Cores {
+		fmt.Fprintf(&b, "%-6d", n)
+		for _, label := range labels {
+			fmt.Fprintf(&b, " %14s", d.Bottleneck(label, n))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig3 renders the bandwidth scaling curves of Figure 3.
+func Fig3(curves []experiments.BandwidthScaling) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "FIG03: Scaling of STREAM COPY and LLC bandwidth (GB/s per core)")
+	for _, c := range curves {
+		fmt.Fprintf(&b, "%s\n", c.Machine.Name)
+		fmt.Fprintf(&b, "%-6s %12s %12s\n", "cores", "SysBand", "LL1Band")
+		for i, n := range c.Cores {
+			fmt.Fprintf(&b, "%-6d %12.2f %12.2f\n", n, c.SysPerCore[i], c.LLCPerCore[i])
+		}
+	}
+	return b.String()
+}
+
+// TableI renders the hardware configuration table.
+func TableI() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "TABLE I: Hardware configurations (machine model)")
+	row := func(label string, f func(m *machine.Machine) string) {
+		fmt.Fprintf(&b, "%-28s", label)
+		for _, m := range []*machine.Machine{machine.Opteron8222(), machine.XeonX7550()} {
+			fmt.Fprintf(&b, " %22s", f(m))
+		}
+		b.WriteByte('\n')
+	}
+	row("Brand", func(m *machine.Machine) string { return m.Name })
+	row("Frequency", func(m *machine.Machine) string { return fmt.Sprintf("%.1f GHz", m.FreqGHz) })
+	row("Sockets", func(m *machine.Machine) string { return fmt.Sprint(m.Sockets) })
+	row("Cores per socket", func(m *machine.Machine) string { return fmt.Sprint(m.CoresPerSocket) })
+	row("NUMA nodes", func(m *machine.Machine) string { return fmt.Sprint(m.NumNodes()) })
+	row("LLC", func(m *machine.Machine) string {
+		llc := m.LLC()
+		unit := "per core"
+		if llc.SharedPerSocket {
+			unit = "per socket"
+		}
+		return fmt.Sprintf("%s %d KiB %s", llc.Name, llc.SizeBytes>>10, unit)
+	})
+	row("Measured sys bandwidth", func(m *machine.Machine) string {
+		return fmt.Sprintf("%.1f GB/s", m.SysBandwidthAgg)
+	})
+	row("Measured LLC bandwidth", func(m *machine.Machine) string {
+		return fmt.Sprintf("%.1f GB/s", m.LLC().AggBandwidth)
+	})
+	row("Measured peak DP", func(m *machine.Machine) string {
+		return fmt.Sprintf("%.1f GFLOPS", m.PeakDPAgg)
+	})
+	// The derived ratios of Table I's lower half: how far the memory wall
+	// sits from the caches and from the compute peak.
+	row("LL1 Band./Sys. Bandwidth", func(m *machine.Machine) string {
+		return fmt.Sprintf("%.1f", m.LLC().AggBandwidth/m.SysBandwidthAgg)
+	})
+	row("LL2 Band./LL1 Band.", func(m *machine.Machine) string {
+		if len(m.Caches) < 2 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", m.Caches[len(m.Caches)-2].AggBandwidth/m.LLC().AggBandwidth)
+	})
+	row("Peak DP/(Sys. Band./8B)", func(m *machine.Machine) string {
+		return fmt.Sprintf("%.1f flops/word", m.PeakDPAgg*8/m.SysBandwidthAgg)
+	})
+	row("Peak DP/(LL1 Band./8B)", func(m *machine.Machine) string {
+		return fmt.Sprintf("%.1f flops/word", m.PeakDPAgg*8/m.LLC().AggBandwidth)
+	})
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"nustencil/internal/experiments"
+)
+
+func TestFigureRendering(t *testing.T) {
+	f := experiments.All()["fig22"]
+	out := Figure(f.Run())
+	if !strings.HasPrefix(out, "FIG22:") {
+		t.Errorf("missing header: %q", firstLine(out))
+	}
+	for _, want := range []string{"cores", "nuCORALS", "nuCATS", "GFLOPS with 32 cores"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// One row per core count (1,2,4,8,16,32) plus header/caption lines.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "1 ") || strings.HasPrefix(line, "2 ") ||
+			strings.HasPrefix(line, "4 ") || strings.HasPrefix(line, "8 ") ||
+			strings.HasPrefix(line, "16 ") || strings.HasPrefix(line, "32 ") {
+			rows++
+		}
+	}
+	if rows != 6 {
+		t.Errorf("found %d data rows, want 6", rows)
+	}
+	if strings.HasSuffix(strings.TrimSpace(out), ",") {
+		t.Error("caption line ends with a dangling comma")
+	}
+}
+
+func TestFig3Rendering(t *testing.T) {
+	out := Fig3(experiments.Fig3())
+	for _, want := range []string{"FIG03", "Opteron", "Xeon", "SysBand", "LL1Band"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig3 output missing %q", want)
+		}
+	}
+}
+
+func TestTableIRendering(t *testing.T) {
+	out := TableI()
+	for _, want := range []string{
+		"TABLE I", "AMD Opteron 8222", "Intel Xeon X7550",
+		"11.9 GB/s", "63.0 GB/s", "95.3 GFLOPS", "202.5 GFLOPS",
+		"L2 1024 KiB per core", "L3 18432 KiB per socket",
+		// The derived ratios of Table I's lower half, matching the paper:
+		// 15.6/9.3 (LL1/Sys), 3.6/1.1 (LL2/LL1), 64.1/25.7 and 4.1/2.8
+		// (arithmetic intensities).
+		"15.6", "9.3", "3.6", "1.1", "64.1 flops/word", "25.7 flops/word",
+		"4.1 flops/word", "2.8 flops/word",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func TestAttributionRendering(t *testing.T) {
+	d := experiments.All()["fig21"].Run()
+	out := Attribution(d)
+	if !strings.HasPrefix(out, "FIG21: bottleneck attribution") {
+		t.Errorf("header: %q", firstLine(out))
+	}
+	// The paper's decoupling argument: NUMA-aware schemes end LLC-bound,
+	// the NUMA-ignorant ones controller-bound, the naive sweep memory-bound.
+	if d.Bottleneck("nuCATS", 32) != "llc" {
+		t.Errorf("nuCATS at 32 = %q, want llc (decoupled from main memory)", d.Bottleneck("nuCATS", 32))
+	}
+	if d.Bottleneck("CORALS", 32) != "controller" {
+		t.Errorf("CORALS at 32 = %q, want controller (node-0 choke)", d.Bottleneck("CORALS", 32))
+	}
+	if d.Bottleneck("NaiveSSE", 32) != "memory" {
+		t.Errorf("NaiveSSE at 32 = %q, want memory", d.Bottleneck("NaiveSSE", 32))
+	}
+	// Bound lines have no attribution.
+	if got := d.Bottleneck("LL1Band0C", 32); got != "" {
+		t.Errorf("bound line attribution = %q", got)
+	}
+}

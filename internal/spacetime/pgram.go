@@ -1,0 +1,96 @@
+// Package spacetime models the space-time geometry of temporal blocking:
+// skewed parallelograms, their recursive subdivision, and materialized tiles
+// with explicit per-timestep cross-sections. Every tiling scheme in this
+// repository is expressed as a producer of spacetime.Tile values; the engine
+// derives dependencies from the geometry in this package.
+package spacetime
+
+import (
+	"fmt"
+
+	"nustencil/internal/grid"
+)
+
+// Pgram is an exact space-time parallelogram: a spatial base box at timestep
+// T0 that translates by Slope cells per timestep for Height steps. A positive
+// slope skews "to the right" (towards increasing coordinates), a negative
+// slope to the left, matching Figure 1 of the paper where thread
+// parallelograms are right-skewed and root parallelograms left-skewed.
+type Pgram struct {
+	T0     int
+	Height int
+	Base   grid.Box // cross-section at T0
+	Slope  []int    // per-dimension shift per timestep
+}
+
+// NewPgram builds a parallelogram; base and slope are copied.
+func NewPgram(t0, height int, base grid.Box, slope []int) Pgram {
+	if len(slope) != base.NumDims() {
+		panic("spacetime: slope/base dimension mismatch")
+	}
+	return Pgram{T0: t0, Height: height, Base: base.Clone(), Slope: append([]int(nil), slope...)}
+}
+
+// T1 returns the exclusive end timestep.
+func (p Pgram) T1() int { return p.T0 + p.Height }
+
+// CrossSection returns the (unclipped) spatial box covered at timestep t.
+// t must lie in [T0, T1).
+func (p Pgram) CrossSection(t int) grid.Box {
+	dt := t - p.T0
+	delta := make([]int, len(p.Slope))
+	for k, m := range p.Slope {
+		delta[k] = m * dt
+	}
+	return p.Base.Shift(delta)
+}
+
+// SpatialExtent returns the extent of the base box in dimension k (constant
+// across timesteps, since slopes translate without resizing).
+func (p Pgram) SpatialExtent(k int) int { return p.Base.Extent(k) }
+
+// LongestDim returns the dimension with the largest extent in the space-time
+// sense used by CORALS' recursion: spatial dimensions by base extent, and
+// time by Height. It returns (dim, extent) with dim == -1 meaning time.
+func (p Pgram) LongestDim() (dim, extent int) {
+	dim, extent = -1, p.Height
+	for k := 0; k < p.Base.NumDims(); k++ {
+		if e := p.Base.Extent(k); e > extent {
+			dim, extent = k, e
+		}
+	}
+	return dim, extent
+}
+
+// SplitTime cuts the parallelogram into a lower half [T0, T0+h) and an upper
+// half [T0+h, T1); the upper half's base is the lower's cross-section at the
+// cut. h is clamped to [0, Height].
+func (p Pgram) SplitTime(h int) (lo, hi Pgram) {
+	if h < 0 {
+		h = 0
+	}
+	if h > p.Height {
+		h = p.Height
+	}
+	lo = NewPgram(p.T0, h, p.Base, p.Slope)
+	hi = NewPgram(p.T0+h, p.Height-h, p.CrossSection(p.T0+h), p.Slope)
+	return lo, hi
+}
+
+// SplitSpace cuts along spatial dimension k at base coordinate c (a skewed
+// cut line parallel to the parallelogram's slope). c is clamped into the
+// base interval, so one half may be spatially empty.
+func (p Pgram) SplitSpace(k, c int) (lo, hi Pgram) {
+	bl, bh := p.Base.SplitAt(k, c)
+	return NewPgram(p.T0, p.Height, bl, p.Slope), NewPgram(p.T0, p.Height, bh, p.Slope)
+}
+
+// Empty reports whether the parallelogram covers no space-time points.
+func (p Pgram) Empty() bool { return p.Height <= 0 || p.Base.Empty() }
+
+// Volume returns base size × height (unclipped point count).
+func (p Pgram) Volume() int64 { return p.Base.Size() * int64(p.Height) }
+
+func (p Pgram) String() string {
+	return fmt.Sprintf("Pgram{t=[%d,%d) base=%v slope=%v}", p.T0, p.T1(), p.Base, p.Slope)
+}

@@ -1,0 +1,97 @@
+package spacetime
+
+// SubdivideLimits controls when the cache-oblivious recursion stops: a
+// parallelogram is a base parallelogram once its height is at most
+// MaxHeight and every spatial extent k is at most MaxExtent[k]. Recursing
+// further — down to single space-time points — would cost more control
+// logic than computation and defeat inner-loop optimization (Section III-C).
+type SubdivideLimits struct {
+	MaxHeight int
+	MaxExtent []int
+}
+
+// Subdivide recursively decomposes p into base parallelograms, always
+// cutting the relatively longest dimension (including time) at its midpoint
+// to maximize the volume-to-surface ratio, exactly as CORALS does. The
+// result partitions p.
+func Subdivide(p Pgram, lim SubdivideLimits) []Pgram {
+	var out []Pgram
+	subdivide(p, lim, &out)
+	return out
+}
+
+func subdivide(p Pgram, lim SubdivideLimits, out *[]Pgram) {
+	if p.Empty() {
+		return
+	}
+	dim, ok := pickSplitDim(p, lim)
+	if !ok {
+		*out = append(*out, p)
+		return
+	}
+	var a, b Pgram
+	if dim < 0 {
+		a, b = p.SplitTime(p.Height / 2)
+	} else {
+		a, b = p.SplitSpace(dim, p.Base.Lo[dim]+p.Base.Extent(dim)/2)
+	}
+	subdivide(a, lim, out)
+	subdivide(b, lim, out)
+}
+
+// pickSplitDim returns the dimension exceeding its limit by the largest
+// relative factor (-1 means time), or ok=false when p is already a base
+// parallelogram. Splitting a dimension of extent 1 is never chosen.
+func pickSplitDim(p Pgram, lim SubdivideLimits) (dim int, ok bool) {
+	bestRatio := 1.0
+	dim, ok = 0, false
+	maxH := lim.MaxHeight
+	if maxH < 1 {
+		maxH = 1
+	}
+	if p.Height > maxH && p.Height >= 2 {
+		bestRatio, dim, ok = float64(p.Height)/float64(maxH), -1, true
+	}
+	for k := 0; k < p.Base.NumDims(); k++ {
+		limK := 1
+		if k < len(lim.MaxExtent) && lim.MaxExtent[k] > 0 {
+			limK = lim.MaxExtent[k]
+		}
+		ext := p.Base.Extent(k)
+		if ext <= limK || ext < 2 {
+			continue
+		}
+		if r := float64(ext) / float64(limK); r > bestRatio {
+			bestRatio, dim, ok = r, k, true
+		}
+	}
+	return dim, ok
+}
+
+// EstimateSubdivisionCount predicts how many base parallelograms Subdivide
+// will produce, used to auto-coarsen limits before materializing tiles.
+func EstimateSubdivisionCount(p Pgram, lim SubdivideLimits) int64 {
+	if p.Empty() {
+		return 0
+	}
+	maxH := lim.MaxHeight
+	if maxH < 1 {
+		maxH = 1
+	}
+	n := int64(ceilDiv(p.Height, maxH))
+	for k := 0; k < p.Base.NumDims(); k++ {
+		limK := 1
+		if k < len(lim.MaxExtent) && lim.MaxExtent[k] > 0 {
+			limK = lim.MaxExtent[k]
+		}
+		n *= int64(ceilDiv(p.Base.Extent(k), limK))
+	}
+	return n
+}
+
+func ceilDiv(a, b int) int {
+	if a <= 0 {
+		return 1
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,208 @@
+package spacetime
+
+import (
+	"fmt"
+
+	"nustencil/internal/grid"
+)
+
+// Tile is a materialized space-time tile: an explicit (already clipped)
+// spatial box for each timestep it covers. Tiles are what the engine
+// schedules and what the cost model prices. Explicit cross-sections make
+// arbitrary shapes representable — boxes, parallelograms, and the split
+// parallelogram fragments that nuCORALS creates at thread boundaries.
+type Tile struct {
+	ID    int
+	T0    int
+	Cross []grid.Box // Cross[i] = spatial box updated at timestep T0+i
+
+	// Owner is the worker that should execute the tile; -1 means any
+	// worker may take it (the round-robin / NUMA-ignorant case).
+	Owner int
+	// Node is the NUMA node of the data the tile predominantly touches,
+	// as determined by the scheme's decomposition; -1 if unknown.
+	Node int
+}
+
+// NewTileFromBox builds an unskewed tile: the same box at every timestep in
+// [t0, t0+height), clipped to clip.
+func NewTileFromBox(b grid.Box, t0, height int, clip grid.Box) *Tile {
+	t := &Tile{T0: t0, Owner: -1, Node: -1, Cross: make([]grid.Box, height)}
+	c := b.Intersect(clip)
+	for i := range t.Cross {
+		t.Cross[i] = c
+	}
+	return t
+}
+
+// NewTileFromPgram materializes a parallelogram, clipping every
+// cross-section to clip (normally the grid interior).
+func NewTileFromPgram(p Pgram, clip grid.Box) *Tile {
+	t := &Tile{T0: p.T0, Owner: -1, Node: -1, Cross: make([]grid.Box, p.Height)}
+	for i := 0; i < p.Height; i++ {
+		t.Cross[i] = p.CrossSection(p.T0 + i).Intersect(clip)
+	}
+	return t
+}
+
+// T1 returns the exclusive end timestep.
+func (t *Tile) T1() int { return t.T0 + len(t.Cross) }
+
+// Height returns the number of timesteps the tile covers.
+func (t *Tile) Height() int { return len(t.Cross) }
+
+// At returns the cross-section at absolute timestep ts, or an empty box if
+// ts is outside the tile's time range.
+func (t *Tile) At(ts int) grid.Box {
+	if ts < t.T0 || ts >= t.T1() {
+		return grid.Box{Lo: make([]int, t.NumDims()), Hi: make([]int, t.NumDims())}
+	}
+	return t.Cross[ts-t.T0]
+}
+
+// NumDims returns the spatial dimensionality.
+func (t *Tile) NumDims() int {
+	if len(t.Cross) == 0 {
+		return 0
+	}
+	return t.Cross[0].NumDims()
+}
+
+// Updates returns the total number of point updates the tile performs.
+func (t *Tile) Updates() int64 {
+	var n int64
+	for _, c := range t.Cross {
+		n += c.Size()
+	}
+	return n
+}
+
+// Empty reports whether the tile performs no updates.
+func (t *Tile) Empty() bool { return t.Updates() == 0 }
+
+// BBox returns the spatial bounding box over all cross-sections. If the tile
+// is empty it returns an empty box.
+func (t *Tile) BBox() grid.Box {
+	var bb grid.Box
+	first := true
+	for _, c := range t.Cross {
+		if c.Empty() {
+			continue
+		}
+		if first {
+			bb = c.Clone()
+			first = false
+			continue
+		}
+		for k := range bb.Lo {
+			if c.Lo[k] < bb.Lo[k] {
+				bb.Lo[k] = c.Lo[k]
+			}
+			if c.Hi[k] > bb.Hi[k] {
+				bb.Hi[k] = c.Hi[k]
+			}
+		}
+	}
+	if first {
+		nd := t.NumDims()
+		return grid.Box{Lo: make([]int, nd), Hi: make([]int, nd)}
+	}
+	return bb
+}
+
+// Intersect returns a new tile covering, at every timestep of t, the
+// intersection of t's cross-section with p's cross-section at that timestep
+// (empty where their time ranges do not overlap). Used to split base
+// parallelograms at thread-parallelogram boundaries.
+func (t *Tile) Intersect(p Pgram) *Tile {
+	out := &Tile{T0: t.T0, Owner: t.Owner, Node: t.Node, Cross: make([]grid.Box, len(t.Cross))}
+	for i, c := range t.Cross {
+		ts := t.T0 + i
+		if ts >= p.T0 && ts < p.T1() {
+			out.Cross[i] = c.Intersect(p.CrossSection(ts))
+		} else {
+			empty := c.Clone()
+			empty.Hi[0] = empty.Lo[0]
+			out.Cross[i] = empty
+		}
+	}
+	return out
+}
+
+// IntersectTile returns a new tile covering, at every timestep of t, the
+// intersection of t's cross-section with o's cross-section at the same
+// timestep. Owner and Node are taken from t.
+func (t *Tile) IntersectTile(o *Tile) *Tile {
+	out := &Tile{T0: t.T0, Owner: t.Owner, Node: t.Node, Cross: make([]grid.Box, len(t.Cross))}
+	for i, c := range t.Cross {
+		out.Cross[i] = c.Intersect(o.At(t.T0 + i))
+	}
+	return out
+}
+
+// Subtract returns a new tile covering, at every timestep, t's cross-section
+// with p's cross-section removed along dimension k only: the part of each
+// row interval at or above p's upper bound plus the part below p's lower
+// bound cannot both be non-empty for the shapes used here, so Subtract
+// requires that the remainder be a single interval in dimension k and panics
+// otherwise. This keeps tiles box-per-timestep.
+func (t *Tile) Subtract(p Pgram, k int) *Tile {
+	out := &Tile{T0: t.T0, Owner: t.Owner, Node: t.Node, Cross: make([]grid.Box, len(t.Cross))}
+	for i, c := range t.Cross {
+		ts := t.T0 + i
+		if c.Empty() || ts < p.T0 || ts >= p.T1() {
+			out.Cross[i] = c
+			continue
+		}
+		pc := p.CrossSection(ts)
+		lo, hi := c.Lo[k], c.Hi[k]
+		plo, phi := pc.Lo[k], pc.Hi[k]
+		// Remainder of [lo,hi) after removing [plo,phi).
+		leftEmpty := plo <= lo
+		rightEmpty := phi >= hi
+		r := c.Clone()
+		switch {
+		case leftEmpty && rightEmpty:
+			r.Hi[k] = r.Lo[k] // fully removed
+		case leftEmpty:
+			r.Lo[k] = phi
+		case rightEmpty:
+			r.Hi[k] = plo
+		default:
+			panic("spacetime: Subtract would split the tile into two intervals")
+		}
+		out.Cross[i] = r
+	}
+	return out
+}
+
+// DependsOn reports whether tile t flow-depends on tile v for a stencil of
+// order s: some point of t at timestep ts reads a value that v produces at
+// ts-1 (i.e. t's cross-section at ts, grown by s, intersects v's
+// cross-section at ts-1). A tile never depends on itself by this relation's
+// use in the engine (in-tile ordering handles internal dependencies).
+func (t *Tile) DependsOn(v *Tile, s int) bool {
+	// Overlapping timestep pairs: ts in [max(t.T0, v.T0+1), min(t.T1, v.T1+1)).
+	lo := t.T0
+	if v.T0+1 > lo {
+		lo = v.T0 + 1
+	}
+	hi := t.T1()
+	if v.T1()+1 < hi {
+		hi = v.T1() + 1
+	}
+	for ts := lo; ts < hi; ts++ {
+		a := t.At(ts)
+		if a.Empty() {
+			continue
+		}
+		if a.IntersectsGrown(s, v.At(ts-1)) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tile) String() string {
+	return fmt.Sprintf("Tile{id=%d t=[%d,%d) owner=%d updates=%d}", t.ID, t.T0, t.T1(), t.Owner, t.Updates())
+}

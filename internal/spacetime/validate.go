@@ -1,0 +1,70 @@
+package spacetime
+
+import (
+	"fmt"
+
+	"nustencil/internal/grid"
+)
+
+// ValidateCover checks that the tiles update every point of interior exactly
+// once at every timestep in [t0, t1): at each timestep the non-empty
+// cross-sections must be pairwise disjoint and their sizes must sum to the
+// interior size. It returns nil when the tiling is an exact cover.
+func ValidateCover(tiles []*Tile, interior grid.Box, t0, t1 int) error {
+	want := interior.Size()
+	for ts := t0; ts < t1; ts++ {
+		var boxes []grid.Box
+		var sum int64
+		for _, t := range tiles {
+			c := t.At(ts)
+			if c.Empty() {
+				continue
+			}
+			if !interior.ContainsBox(c) {
+				return fmt.Errorf("spacetime: tile %d leaves interior at t=%d: %v ⊄ %v", t.ID, ts, c, interior)
+			}
+			boxes = append(boxes, c)
+			sum += c.Size()
+		}
+		if sum != want {
+			return fmt.Errorf("spacetime: t=%d covers %d points, want %d", ts, sum, want)
+		}
+		for i := 0; i < len(boxes); i++ {
+			for j := i + 1; j < len(boxes); j++ {
+				if boxes[i].Intersects(boxes[j]) {
+					return fmt.Errorf("spacetime: t=%d overlap %v ∩ %v", ts, boxes[i], boxes[j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TotalUpdates sums the updates of all tiles.
+func TotalUpdates(tiles []*Tile) int64 {
+	var n int64
+	for _, t := range tiles {
+		n += t.Updates()
+	}
+	return n
+}
+
+// AssignIDs renumbers tiles 0..len-1 in slice order and returns the slice.
+// Tilers call this last so IDs are stable, dense handles for the engine.
+func AssignIDs(tiles []*Tile) []*Tile {
+	for i, t := range tiles {
+		t.ID = i
+	}
+	return tiles
+}
+
+// DropEmpty removes tiles that perform no updates.
+func DropEmpty(tiles []*Tile) []*Tile {
+	out := tiles[:0]
+	for _, t := range tiles {
+		if !t.Empty() {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package stencil
+
+import (
+	"fmt"
+
+	"nustencil/internal/grid"
+)
+
+// Op binds a stencil to a grid (and coefficients, for banded stencils) and
+// applies it to space-time regions. It is the single-threaded kernel that
+// every tiling scheme invokes on the cells a tile covers; the schemes differ
+// only in which boxes they pass at which timesteps, on which worker.
+//
+// An Op is safe for concurrent ApplyBox calls on disjoint boxes: it keeps no
+// mutable state beyond the grid buffers.
+type Op struct {
+	St *Stencil
+	G  *grid.Grid
+
+	offs   []int // flat offset per stencil point, from grid strides
+	coeffs []float64
+	vc     *Coefficients
+	source []float64 // optional per-cell additive term
+
+	periodic bool
+	points   [][]int // coordinate offsets, for the wrapped path
+}
+
+// SetPeriodic switches the kernel between Dirichlet boundaries (the
+// default: a fixed ring of width Order, updates clipped to the interior)
+// and periodic boundaries (every cell updates, neighbour indices wrap).
+// With periodic boundaries rows within reach of a seam take a slower
+// modular-indexing path; interior rows keep the fast kernels.
+func (op *Op) SetPeriodic(periodic bool) {
+	op.periodic = periodic
+	if periodic && op.points == nil {
+		op.points = op.St.Points()
+	}
+}
+
+// Periodic reports the boundary mode.
+func (op *Op) Periodic() bool { return op.periodic }
+
+// UpdateRegion returns the box of cells ApplyBox may update: the grid
+// interior for Dirichlet boundaries, the whole grid for periodic ones.
+func (op *Op) UpdateRegion() grid.Box {
+	if op.periodic {
+		return op.G.Bounds()
+	}
+	return op.G.Interior(op.St.Order)
+}
+
+// SetSource attaches a per-cell additive term g: every update becomes
+// dst = Σ cᵢ·src(+offᵢ) + g. This turns the weighted-Jacobi iteration for a
+// linear system A·u = f into a stencil computation (g = ω·D⁻¹·f), so
+// inhomogeneous problems — sources, sinks, multigrid correction equations —
+// run through the same tiling schemes. src must have grid length; nil
+// removes the term.
+func (op *Op) SetSource(src []float64) {
+	if src != nil && len(src) != op.G.Len() {
+		panic(fmt.Sprintf("stencil: source length %d, grid %d", len(src), op.G.Len()))
+	}
+	op.source = src
+}
+
+// NewOp builds the kernel for a constant-coefficient stencil on g.
+func NewOp(s *Stencil, g *grid.Grid) *Op {
+	if s.Kind != Constant {
+		panic("stencil: NewOp requires a Constant stencil; use NewBandedOp")
+	}
+	if s.NumDims != g.NumDims() {
+		panic(fmt.Sprintf("stencil: %dD stencil on %dD grid", s.NumDims, g.NumDims()))
+	}
+	return &Op{St: s, G: g, offs: flatOffsets(s, g), coeffs: s.Coeffs}
+}
+
+// NewBandedOp builds the kernel for a variable-coefficient stencil on g with
+// per-cell coefficients c.
+func NewBandedOp(s *Stencil, g *grid.Grid, c *Coefficients) *Op {
+	if s.Kind != Variable {
+		panic("stencil: NewBandedOp requires a Variable stencil")
+	}
+	if s.NumDims != g.NumDims() {
+		panic(fmt.Sprintf("stencil: %dD stencil on %dD grid", s.NumDims, g.NumDims()))
+	}
+	if c == nil || c.NumPoints() != s.NumPoints() {
+		panic("stencil: coefficients do not match stencil")
+	}
+	return &Op{St: s, G: g, offs: flatOffsets(s, g), vc: c}
+}
+
+func flatOffsets(s *Stencil, g *grid.Grid) []int {
+	pts := s.Points()
+	offs := make([]int, len(pts))
+	for i, p := range pts {
+		o := 0
+		for k, c := range p {
+			o += c * g.Stride(k)
+		}
+		offs[i] = o
+	}
+	return offs
+}
+
+// ApplyBox updates every point of box b for one timestep t: it reads buffer
+// t%2 and writes buffer (t+1)%2. The box must lie within the grid's
+// Interior(s.Order) so that every neighbour access is in bounds. It returns
+// the number of point updates performed.
+func (op *Op) ApplyBox(b grid.Box, t int) int64 {
+	b = b.Intersect(op.UpdateRegion())
+	if b.Empty() {
+		return 0
+	}
+	src := op.G.Buf(t)
+	dst := op.G.Buf(t + 1)
+	var n int64
+	switch {
+	case op.periodic:
+		n = op.applyPeriodic(b, src, dst)
+	case op.vc != nil:
+		n = op.applyBanded(b, src, dst)
+	case len(op.offs) == 7 && op.G.NumDims() == 3:
+		n = op.apply7pt(b, src, dst)
+	default:
+		n = op.applyGeneric(b, src, dst)
+	}
+	if op.source != nil {
+		g := op.source
+		op.G.ForEachRow(b, func(off, length int, _ []int) {
+			for j := off; j < off+length; j++ {
+				dst[j] += g[j]
+			}
+		})
+	}
+	return n
+}
+
+// apply7pt is the specialized 3D 7-point constant kernel (the paper's model
+// problem, equation (1)): 7 multiplications, 6 additions per update.
+func (op *Op) apply7pt(b grid.Box, src, dst []float64) int64 {
+	c0 := op.coeffs[0]
+	c1, c2 := op.coeffs[1], op.coeffs[2] // -/+ dim 0
+	c3, c4 := op.coeffs[3], op.coeffs[4] // -/+ dim 1
+	c5, c6 := op.coeffs[5], op.coeffs[6] // -/+ dim 2
+	o1, o2 := op.offs[1], op.offs[2]
+	o3, o4 := op.offs[3], op.offs[4]
+	var updates int64
+	op.G.ForEachRow(b, func(off, length int, _ []int) {
+		for j := off; j < off+length; j++ {
+			dst[j] = c0*src[j] +
+				c1*src[j+o1] + c2*src[j+o2] +
+				c3*src[j+o3] + c4*src[j+o4] +
+				c5*src[j-1] + c6*src[j+1]
+		}
+		updates += int64(length)
+	})
+	return updates
+}
+
+// applyGeneric handles any dimension and order with constant coefficients.
+func (op *Op) applyGeneric(b grid.Box, src, dst []float64) int64 {
+	offs, cs := op.offs, op.coeffs
+	np := len(offs)
+	var updates int64
+	op.G.ForEachRow(b, func(off, length int, _ []int) {
+		for i := off; i < off+length; i++ {
+			acc := cs[0] * src[i]
+			for p := 1; p < np; p++ {
+				acc += cs[p] * src[i+offs[p]]
+			}
+			dst[i] = acc
+		}
+		updates += int64(length)
+	})
+	return updates
+}
+
+// applyBanded handles variable coefficients: the banded matrix-vector
+// product with temporal iteration.
+func (op *Op) applyBanded(b grid.Box, src, dst []float64) int64 {
+	offs := op.offs
+	data := op.vc.Data
+	np := len(offs)
+	var updates int64
+	op.G.ForEachRow(b, func(off, length int, _ []int) {
+		for i := off; i < off+length; i++ {
+			acc := data[0][i] * src[i]
+			for p := 1; p < np; p++ {
+				acc += data[p][i] * src[i+offs[p]]
+			}
+			dst[i] = acc
+		}
+		updates += int64(length)
+	})
+	return updates
+}
+
+// applyPeriodic handles wrapped boundaries: rows out of reach of every seam
+// use the fast kernels; seam rows compute wrapped neighbour indices per
+// point.
+func (op *Op) applyPeriodic(b grid.Box, src, dst []float64) int64 {
+	s := op.St.Order
+	nd := op.G.NumDims()
+	dims := op.G.Dims()
+	last := nd - 1
+	pt := make([]int, nd)
+	var updates int64
+	op.G.ForEachRow(b, func(off, length int, start []int) {
+		updates += int64(length)
+		// A row is seam-free when every non-unit coordinate is at least s
+		// from both edges and the row (extended by s along the unit-stride
+		// dimension) stays in bounds.
+		interior := start[last]-s >= 0 && start[last]+length-1+s < dims[last]
+		for k := 0; k < last && interior; k++ {
+			if start[k] < s || start[k] >= dims[k]-s {
+				interior = false
+			}
+		}
+		if interior {
+			row := grid.Box{Lo: append([]int(nil), start...), Hi: append([]int(nil), start...)}
+			for k := range row.Hi {
+				row.Hi[k]++
+			}
+			row.Hi[last] = start[last] + length
+			switch {
+			case op.vc != nil:
+				op.applyBanded(row, src, dst)
+			case len(op.offs) == 7 && nd == 3:
+				op.apply7pt(row, src, dst)
+			default:
+				op.applyGeneric(row, src, dst)
+			}
+			return
+		}
+		copy(pt, start)
+		for i := 0; i < length; i++ {
+			pt[last] = start[last] + i
+			acc := 0.0
+			centre := off + i
+			for p, offc := range op.points {
+				idx := 0
+				for k := 0; k < nd; k++ {
+					c := pt[k] + offc[k]
+					if c < 0 {
+						c += dims[k]
+					} else if c >= dims[k] {
+						c -= dims[k]
+					}
+					idx += c * op.G.Stride(k)
+				}
+				if op.vc != nil {
+					acc += op.vc.Data[p][centre] * src[idx]
+				} else {
+					acc += op.coeffs[p] * src[idx]
+				}
+			}
+			dst[centre] = acc
+		}
+	})
+	return updates
+}
+
+// applyBanded and applyGeneric share shape; kept separate so the constant
+// path avoids the extra indirection per point.
+
+// Unit-stride wrap note: kernels never wrap indices; callers must clip boxes
+// to Interior(order). apply7pt indexes row[i-1] and row[i+1], which stay in
+// src because the interior excludes the boundary ring.

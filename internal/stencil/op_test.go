@@ -1,0 +1,163 @@
+package stencil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nustencil/internal/grid"
+)
+
+func TestOpConstructorsValidate(t *testing.T) {
+	g := grid.New([]int{6, 6})
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewOp with banded stencil", func() { NewOp(NewBandedStar(2, 1), g) })
+	mustPanic("NewOp dims mismatch", func() { NewOp(NewStar(3, 1), g) })
+	mustPanic("NewBandedOp with constant", func() { NewBandedOp(NewStar(2, 1), g, nil) })
+	mustPanic("NewBandedOp nil coeffs", func() { NewBandedOp(NewBandedStar(2, 1), g, nil) })
+	mustPanic("NewBandedOp dims mismatch", func() {
+		g3 := grid.New([]int{5, 5, 5})
+		NewBandedOp(NewBandedStar(2, 1), g3, NewCoefficients(NewBandedStar(3, 1), g3))
+	})
+	mustPanic("SetSource wrong length", func() {
+		op := NewOp(NewStar(2, 1), g)
+		op.SetSource(make([]float64, 5))
+	})
+}
+
+func TestUpdateRegionModes(t *testing.T) {
+	g := grid.New([]int{8, 8})
+	op := NewOp(NewStar(2, 1), g)
+	if !op.UpdateRegion().Equal(g.Interior(1)) {
+		t.Error("Dirichlet region should be the interior")
+	}
+	op.SetPeriodic(true)
+	if !op.Periodic() || !op.UpdateRegion().Equal(g.Bounds()) {
+		t.Error("periodic region should be the whole grid")
+	}
+	op.SetPeriodic(false)
+	if op.Periodic() {
+		t.Error("SetPeriodic(false) did not clear")
+	}
+}
+
+// The periodic kernel agrees with a coordinate-level modular oracle for
+// random shapes, orders, and both coefficient kinds.
+func TestApplyPeriodicMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		nd := 1 + r.Intn(3)
+		order := 1 + r.Intn(2)
+		dims := make([]int, nd)
+		for k := range dims {
+			dims[k] = 2*order + 1 + r.Intn(6)
+		}
+		g := grid.New(dims)
+		g.FillFunc(func([]int) float64 { return r.Float64() })
+		banded := r.Intn(3) == 0
+		var op *Op
+		var st *Stencil
+		var co *Coefficients
+		if banded {
+			st = NewBandedStar(nd, order)
+			co = NewCoefficients(st, g)
+			co.FillFunc(func(int, int) float64 { return r.Float64() * 0.2 })
+			op = NewBandedOp(st, g, co)
+		} else {
+			st = NewStar(nd, order)
+			op = NewOp(st, g)
+		}
+		op.SetPeriodic(true)
+		if n := op.ApplyBox(g.Bounds(), 0); n != g.Bounds().Size() {
+			t.Fatalf("updates = %d, want %d", n, g.Bounds().Size())
+		}
+		// Oracle at a random point (possibly on a seam).
+		pt := make([]int, nd)
+		for k := range pt {
+			pt[k] = r.Intn(dims[k])
+		}
+		pts := st.Points()
+		want := 0.0
+		q := make([]int, nd)
+		for i, off := range pts {
+			for k := range pt {
+				q[k] = ((pt[k]+off[k])%dims[k] + dims[k]) % dims[k]
+			}
+			w := 0.0
+			if banded {
+				w = co.Data[i][g.Index(pt)]
+			} else {
+				w = st.Coeffs[i]
+			}
+			want += w * g.At(0, q)
+		}
+		if got := g.At(1, pt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d at %v: got %v want %v (banded=%v)", trial, pt, got, want, banded)
+		}
+	}
+}
+
+func TestApplyPeriodicSeamFreeFastPath(t *testing.T) {
+	// A box far from every seam must produce identical results with and
+	// without periodic mode (the fast path handles it).
+	g := grid.New([]int{12, 12, 12})
+	r := rand.New(rand.NewSource(5))
+	g.FillFunc(func([]int) float64 { return r.Float64() })
+	g2 := g.Clone()
+	inner := grid.NewBox([]int{4, 4, 4}, []int{8, 8, 8})
+
+	op := NewOp(NewStar(3, 1), g)
+	op.ApplyBox(inner, 0)
+
+	opP := NewOp(NewStar(3, 1), g2)
+	opP.SetPeriodic(true)
+	opP.ApplyBox(inner, 0)
+
+	g.ForEachRow(inner, func(off, length int, _ []int) {
+		for i := off; i < off+length; i++ {
+			if g.Buf(1)[i] != g2.Buf(1)[i] {
+				t.Fatalf("fast path diverged at %d", i)
+			}
+		}
+	})
+}
+
+func TestSourceAppliesToBothPaths(t *testing.T) {
+	g := grid.New([]int{6, 6})
+	g.FillBoth(1)
+	op := NewOp(NewStar(2, 1), g)
+	src := make([]float64, g.Len())
+	for i := range src {
+		src[i] = 0.5
+	}
+	op.SetSource(src)
+	op.ApplyBox(g.Interior(1), 0)
+	if v := g.At(1, []int{3, 3}); math.Abs(v-1.5) > 1e-12 {
+		t.Errorf("Dirichlet source: %v", v)
+	}
+	op.SetSource(nil)
+	op.ApplyBox(g.Interior(1), 1)
+	if v := g.At(0, []int{3, 3}); math.Abs(v-1.5) > 1e-12 {
+		t.Errorf("cleared source: %v", v)
+	}
+}
+
+func TestStencilStrings(t *testing.T) {
+	if s := NewStar(3, 1).String(); s != "3D 7-point constant (s=1)" {
+		t.Errorf("String = %q", s)
+	}
+	if s := NewBandedStar(3, 2).String(); s != "3D 13-point banded (s=2)" {
+		t.Errorf("String = %q", s)
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind must still format")
+	}
+}

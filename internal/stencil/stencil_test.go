@@ -1,0 +1,240 @@
+package stencil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nustencil/internal/grid"
+)
+
+func TestNumPointsAndFlops(t *testing.T) {
+	cases := []struct {
+		dims, order, points, flops int
+	}{
+		{3, 1, 7, 13},  // the paper's model problem
+		{3, 2, 13, 25}, // Section IV-F: s=2 has 25 flops
+		{3, 3, 19, 37}, // s=3 has 37 flops
+		{2, 1, 5, 9},
+		{1, 1, 3, 5},
+	}
+	for _, c := range cases {
+		s := NewStar(c.dims, c.order)
+		if got := s.NumPoints(); got != c.points {
+			t.Errorf("%dD s=%d NumPoints = %d, want %d", c.dims, c.order, got, c.points)
+		}
+		if got := s.FlopsPerUpdate(); got != c.flops {
+			t.Errorf("%dD s=%d Flops = %d, want %d", c.dims, c.order, got, c.flops)
+		}
+	}
+}
+
+func TestReadsPerUpdateMatchPaperAccounting(t *testing.T) {
+	c := NewStar(3, 1)
+	if c.ReadsPerUpdate() != 7 || c.IdealReadsPerUpdate() != 1 {
+		t.Errorf("constant 7pt reads = %d/%d, want 7/1",
+			c.ReadsPerUpdate(), c.IdealReadsPerUpdate())
+	}
+	b := NewBandedStar(3, 1)
+	if b.ReadsPerUpdate() != 14 || b.IdealReadsPerUpdate() != 8 {
+		t.Errorf("banded 7pt reads = %d/%d, want 14/8",
+			b.ReadsPerUpdate(), b.IdealReadsPerUpdate())
+	}
+}
+
+func TestPointsLayout(t *testing.T) {
+	s := NewStar(2, 2)
+	pts := s.Points()
+	if len(pts) != 9 {
+		t.Fatalf("len(Points) = %d", len(pts))
+	}
+	want := [][]int{
+		{0, 0},
+		{-1, 0}, {1, 0}, {-2, 0}, {2, 0},
+		{0, -1}, {0, 1}, {0, -2}, {0, 2},
+	}
+	for i, w := range want {
+		for k := range w {
+			if pts[i][k] != w[k] {
+				t.Fatalf("Points[%d] = %v, want %v", i, pts[i], w)
+			}
+		}
+	}
+}
+
+func TestStarCoefficientsSumToOne(t *testing.T) {
+	for _, order := range []int{1, 2, 3} {
+		s := NewStar(3, order)
+		sum := 0.0
+		for _, c := range s.Coeffs {
+			sum += c
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("s=%d coefficient sum = %v", order, sum)
+		}
+	}
+}
+
+// naiveUpdate computes one stencil update at pt by direct evaluation from
+// the Points list — the trusted oracle for the optimized kernels.
+func naiveUpdate(s *Stencil, g *grid.Grid, c *Coefficients, pt []int, t int) float64 {
+	pts := s.Points()
+	acc := 0.0
+	q := make([]int, len(pt))
+	for i, off := range pts {
+		for k := range pt {
+			q[k] = pt[k] + off[k]
+		}
+		// Variable coefficients are indexed at the centre cell, not the
+		// neighbour: row i of the banded matrix belongs to the updated cell.
+		if s.Kind == Constant {
+			acc += s.Coeffs[i] * g.At(t, q)
+		} else {
+			acc += c.Data[i][g.Index(pt)] * g.At(t, q)
+		}
+	}
+	return acc
+}
+
+func randomGrid(r *rand.Rand, dims []int) *grid.Grid {
+	g := grid.New(dims)
+	g.FillFunc(func(pt []int) float64 { return r.Float64()*2 - 1 })
+	return g
+}
+
+func TestApply7ptMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	s := NewStarWithCoeffs(3, 1, []float64{0.4, 0.1, 0.05, 0.15, 0.1, 0.12, 0.08})
+	g := randomGrid(r, []int{6, 7, 8})
+	op := NewOp(s, g)
+	interior := g.Interior(1)
+	if n := op.ApplyBox(interior, 0); n != interior.Size() {
+		t.Fatalf("updates = %d, want %d", n, interior.Size())
+	}
+	pt := make([]int, 3)
+	g.ForEachRow(interior, func(off, length int, start []int) {
+		copy(pt, start)
+		for i := 0; i < length; i++ {
+			pt[2] = start[2] + i
+			want := naiveUpdate(s, g, nil, pt, 0)
+			got := g.At(1, pt)
+			if math.Abs(got-want) > 1e-13 {
+				t.Fatalf("at %v: got %v want %v", pt, got, want)
+			}
+		}
+	})
+}
+
+func TestApplyGenericMatchesOracleHighOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for _, order := range []int{2, 3} {
+		s := NewStar(3, order)
+		g := randomGrid(r, []int{2*order + 4, 2*order + 5, 2*order + 6})
+		op := NewOp(s, g)
+		interior := g.Interior(order)
+		op.ApplyBox(interior, 0)
+		pt := make([]int, 3)
+		g.ForEachRow(interior, func(off, length int, start []int) {
+			copy(pt, start)
+			for i := 0; i < length; i++ {
+				pt[2] = start[2] + i
+				want := naiveUpdate(s, g, nil, pt, 0)
+				if got := g.At(1, pt); math.Abs(got-want) > 1e-13 {
+					t.Fatalf("order %d at %v: got %v want %v", order, pt, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestApplyBandedMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	s := NewBandedStar(3, 1)
+	g := randomGrid(r, []int{5, 6, 7})
+	c := NewCoefficients(s, g)
+	c.FillFunc(func(p, idx int) float64 { return r.Float64() })
+	op := NewBandedOp(s, g, c)
+	interior := g.Interior(1)
+	op.ApplyBox(interior, 0)
+	pt := make([]int, 3)
+	g.ForEachRow(interior, func(off, length int, start []int) {
+		copy(pt, start)
+		for i := 0; i < length; i++ {
+			pt[2] = start[2] + i
+			want := naiveUpdate(s, g, c, pt, 0)
+			if got := g.At(1, pt); math.Abs(got-want) > 1e-13 {
+				t.Fatalf("at %v: got %v want %v", pt, got, want)
+			}
+		}
+	})
+}
+
+func TestApplyBoxClipsToInterior(t *testing.T) {
+	s := NewStar(3, 1)
+	g := grid.New([]int{4, 4, 4})
+	g.FillBoth(1)
+	op := NewOp(s, g)
+	// A box covering the whole grid must silently clip to the interior.
+	n := op.ApplyBox(g.Bounds(), 0)
+	if n != g.Interior(1).Size() {
+		t.Fatalf("updates = %d, want %d", n, g.Interior(1).Size())
+	}
+	// Boundary cells of buffer 1 must be untouched (still 1).
+	if got := g.At(1, []int{0, 0, 0}); got != 1 {
+		t.Errorf("boundary overwritten: %v", got)
+	}
+}
+
+func TestApplyBoxEmpty(t *testing.T) {
+	s := NewStar(2, 1)
+	g := grid.New([]int{4, 4})
+	op := NewOp(s, g)
+	if n := op.ApplyBox(grid.NewBox([]int{2, 2}, []int{2, 2}), 0); n != 0 {
+		t.Fatalf("empty box did %d updates", n)
+	}
+}
+
+func TestApplyParityAlternation(t *testing.T) {
+	// Applying at t reads buf t%2 and writes (t+1)%2, so two applications
+	// starting from a constant field keep it constant (weights sum to 1).
+	s := NewStar(2, 1)
+	g := grid.New([]int{8, 8})
+	g.FillBoth(3)
+	op := NewOp(s, g)
+	for t0 := 0; t0 < 4; t0++ {
+		op.ApplyBox(g.Interior(1), t0)
+	}
+	pt := []int{4, 4}
+	if got := g.At(0, pt); math.Abs(got-3) > 1e-12 {
+		t.Errorf("constant field drifted to %v", got)
+	}
+}
+
+// Property: for random shapes and orders, the generic kernel agrees with
+// the point oracle at a random interior point.
+func TestGenericKernelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nd := 1 + r.Intn(3)
+		order := 1 + r.Intn(2)
+		dims := make([]int, nd)
+		for k := range dims {
+			dims[k] = 2*order + 2 + r.Intn(4)
+		}
+		g := randomGrid(r, dims)
+		s := NewStar(nd, order)
+		op := NewOp(s, g)
+		interior := g.Interior(order)
+		op.ApplyBox(interior, 0)
+		pt := make([]int, nd)
+		for k := range pt {
+			pt[k] = interior.Lo[k] + r.Intn(interior.Hi[k]-interior.Lo[k])
+		}
+		want := naiveUpdate(s, g, nil, pt, 0)
+		return math.Abs(g.At(1, pt)-want) <= 1e-13
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package cats
+
+import (
+	"testing"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/grid"
+	"nustencil/internal/spacetime"
+	"nustencil/internal/stencil"
+	"nustencil/internal/tiling"
+	"nustencil/internal/tiling/schemetest"
+)
+
+func TestCATSConformance(t *testing.T) {
+	schemetest.Run(t, New())
+}
+
+func TestCATSMetadata(t *testing.T) {
+	s := New()
+	if s.Name() != "CATS" || s.NUMAAware() {
+		t.Error("metadata wrong")
+	}
+}
+
+func problem(dims []int, workers, timesteps int, llc int64) *tiling.Problem {
+	return &tiling.Problem{
+		Grid:              grid.New(dims),
+		Stencil:           stencil.NewStar(len(dims), 1),
+		Timesteps:         timesteps,
+		Workers:           workers,
+		Topo:              affinity.Fixed{Cores: workers, Nodes: 2},
+		LLCBytesPerWorker: llc,
+	}
+}
+
+func TestRecommendedWidthScalesWithCache(t *testing.T) {
+	small := RecommendedWidth(problem([]int{34, 34, 34}, 4, 10, 1<<10))
+	big := RecommendedWidth(problem([]int{34, 34, 34}, 4, 10, 1<<22))
+	if small < 1 {
+		t.Errorf("width = %d, want >= 1", small)
+	}
+	if big <= small {
+		t.Errorf("bigger cache must give wider wavefront: %d vs %d", big, small)
+	}
+	// Width never exceeds the tiling extent.
+	if big > 32 {
+		t.Errorf("width %d exceeds extent", big)
+	}
+}
+
+func TestRecommendedWidthBandedNarrower(t *testing.T) {
+	p := problem([]int{66, 66, 66}, 4, 4, 1<<20)
+	wc := RecommendedWidth(p)
+	p.Stencil = stencil.NewBandedStar(3, 1)
+	wb := RecommendedWidth(p)
+	if wb > wc {
+		t.Errorf("banded width %d > constant width %d", wb, wc)
+	}
+}
+
+func TestCATSRoundRobinOwners(t *testing.T) {
+	p := problem([]int{66, 18, 18}, 4, 3, 1<<10)
+	s := &Scheme{Params: Params{WidthOverride: 8}} // 8 slabs of width 8
+	tiles, err := s.Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slab i (identified by its t=0 cross-section's Lo) must be owned by
+	// i % workers.
+	for _, tile := range tiles {
+		if tile.T0 != 0 {
+			continue
+		}
+		slab := (tile.At(0).Lo[TilingDim] - 1) / 8
+		if tile.Owner != slab%4 {
+			t.Errorf("slab %d owner = %d, want %d", slab, tile.Owner, slab%4)
+		}
+	}
+}
+
+func TestCATSTilesSkewLeft(t *testing.T) {
+	p := problem([]int{66, 18, 18}, 2, 6, 1<<10)
+	s := &Scheme{Params: Params{WidthOverride: 16, SegmentHeight: 6}}
+	tiles, err := s.Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An interior slab's lower boundary moves left by order per step.
+	var found bool
+	for _, tile := range tiles {
+		b0 := tile.At(0)
+		if b0.Empty() || b0.Lo[TilingDim] == 1 || tile.Height() < 2 {
+			continue
+		}
+		b1 := tile.At(1)
+		if b1.Lo[TilingDim] != b0.Lo[TilingDim]-1 {
+			t.Errorf("slab boundary moved %d -> %d, want left by 1",
+				b0.Lo[TilingDim], b1.Lo[TilingDim])
+		}
+		found = true
+	}
+	if !found {
+		t.Error("no interior slab found")
+	}
+}
+
+func TestCATSSegmentation(t *testing.T) {
+	p := problem([]int{34, 10, 10}, 2, 10, 1<<10)
+	s := &Scheme{Params: Params{WidthOverride: 32, SegmentHeight: 4}}
+	tiles, err := s.Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One slab, 10 steps, segment 4: heights 4,4,2.
+	if len(tiles) != 3 {
+		t.Fatalf("segments = %d, want 3", len(tiles))
+	}
+	if tiles[0].Height() != 4 || tiles[2].Height() != 2 {
+		t.Errorf("segment heights %d,%d,%d", tiles[0].Height(), tiles[1].Height(), tiles[2].Height())
+	}
+}
+
+func TestCATSDistributeSerial(t *testing.T) {
+	p := problem([]int{18, 10, 10}, 4, 2, 1<<10)
+	New().Distribute(p)
+	// NUMA-ignorant: everything on node 0.
+	if f := p.Grid.LocalFraction(p.Grid.Bounds(), 0, 2); f != 1 {
+		t.Errorf("node-0 fraction = %v, want 1", f)
+	}
+}
+
+func TestBuildSlabTilesCoverAndDeps(t *testing.T) {
+	p := problem([]int{42, 12, 12}, 3, 8, 1<<10)
+	tiles := BuildSlabTiles(p, 5, []int{0, 1, 2, 0, 1}, 2, false)
+	if err := spacetime.ValidateCover(tiles, p.Interior(), 0, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWavefrontDim(t *testing.T) {
+	if WavefrontDim(3) != 1 || WavefrontDim(4) != 1 {
+		t.Error("3D+ wavefront dim should be 1")
+	}
+	if WavefrontDim(2) != -1 || WavefrontDim(1) != -1 {
+		t.Error("low-dim grids have no wavefront dim")
+	}
+}

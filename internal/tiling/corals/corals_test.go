@@ -1,0 +1,88 @@
+package corals
+
+import (
+	"testing"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/grid"
+	"nustencil/internal/spacetime"
+	"nustencil/internal/stencil"
+	"nustencil/internal/tiling"
+	"nustencil/internal/tiling/schemetest"
+)
+
+func TestCORALSConformance(t *testing.T) {
+	schemetest.Run(t, New())
+}
+
+func TestCORALSMetadata(t *testing.T) {
+	s := New()
+	if s.Name() != "CORALS" || s.NUMAAware() {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestCORALSTilesAreUnowned(t *testing.T) {
+	p := &tiling.Problem{
+		Grid: grid.New([]int{18, 18, 18}), Stencil: stencil.NewStar(3, 1),
+		Timesteps: 6, Workers: 4, Topo: affinity.Fixed{Cores: 4, Nodes: 2},
+	}
+	tiles, err := New().Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range tiles {
+		if tile.Owner != -1 {
+			t.Fatalf("CORALS tile has owner %d; must use the shared queue", tile.Owner)
+		}
+	}
+	if err := spacetime.ValidateCover(tiles, p.Interior(), 0, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCORALSLayerHeightOption(t *testing.T) {
+	p := &tiling.Problem{
+		Grid: grid.New([]int{18, 18, 18}), Stencil: stencil.NewStar(3, 1),
+		Timesteps: 12, Workers: 2,
+	}
+	s := &Scheme{Params: Params{LayerHeight: 5}}
+	tiles, err := s.Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range tiles {
+		if tile.T0/5 != (tile.T1()-1)/5 {
+			t.Fatalf("tile t=[%d,%d) crosses the layer boundary", tile.T0, tile.T1())
+		}
+	}
+	if err := spacetime.ValidateCover(tiles, p.Interior(), 0, 12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCORALSDistributeSerial(t *testing.T) {
+	p := &tiling.Problem{
+		Grid: grid.New([]int{10, 10, 10}), Stencil: stencil.NewStar(3, 1),
+		Timesteps: 1, Workers: 4, Topo: affinity.Fixed{Cores: 4, Nodes: 4},
+	}
+	New().Distribute(p)
+	if f := p.Grid.LocalFraction(p.Grid.Bounds(), 0, 4); f != 1 {
+		t.Errorf("node-0 fraction = %v, want 1 (serial first touch)", f)
+	}
+}
+
+func TestCORALSAutoCoarsens(t *testing.T) {
+	p := &tiling.Problem{
+		Grid: grid.New([]int{66, 66, 66}), Stencil: stencil.NewStar(3, 1),
+		Timesteps: 40, Workers: 4,
+	}
+	s := &Scheme{Params: Params{MaxTiles: 300}}
+	tiles, err := s.Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) > 600 {
+		t.Errorf("tile count %d far exceeds cap", len(tiles))
+	}
+}

@@ -1,0 +1,76 @@
+package diamond
+
+import (
+	"testing"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/grid"
+	"nustencil/internal/spacetime"
+	"nustencil/internal/stencil"
+	"nustencil/internal/tiling"
+	"nustencil/internal/tiling/schemetest"
+)
+
+func TestDiamondConformance(t *testing.T) {
+	schemetest.Run(t, New())
+}
+
+func TestDiamondMetadata(t *testing.T) {
+	s := New()
+	if s.Name() != "PLuTo" || s.NUMAAware() {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestDiamondTimeBlocksAndOwners(t *testing.T) {
+	p := &tiling.Problem{
+		Grid: grid.New([]int{66, 34, 18}), Stencil: stencil.NewStar(3, 1),
+		Timesteps: 20, Workers: 4, Topo: affinity.Fixed{Cores: 4, Nodes: 2},
+	}
+	s := &Scheme{Params: Params{TimeBlock: 8, Width: 16}}
+	tiles, err := s.Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spacetime.ValidateCover(tiles, p.Interior(), 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	seenOwners := map[int]bool{}
+	for _, tile := range tiles {
+		if tile.T0%8 != 0 {
+			t.Fatalf("tile starts off-block at t=%d", tile.T0)
+		}
+		if tile.Height() > 8 {
+			t.Fatalf("tile height %d exceeds time block", tile.Height())
+		}
+		seenOwners[tile.Owner] = true
+	}
+	if len(seenOwners) != 4 {
+		t.Errorf("block-cyclic assignment used %d workers, want 4", len(seenOwners))
+	}
+}
+
+func TestDiamondTailBlock(t *testing.T) {
+	p := &tiling.Problem{
+		Grid: grid.New([]int{18, 18}), Stencil: stencil.NewStar(2, 1),
+		Timesteps: 10, Workers: 2,
+	}
+	s := &Scheme{Params: Params{TimeBlock: 4, Width: 8}}
+	tiles, err := s.Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks 0-3, 4-7, 8-9: the tail block has height 2.
+	maxT1 := 0
+	for _, tile := range tiles {
+		if tile.T1() > maxT1 {
+			maxT1 = tile.T1()
+		}
+		if tile.T0 == 8 && tile.Height() != 2 {
+			t.Errorf("tail block tile height = %d, want 2", tile.Height())
+		}
+	}
+	if maxT1 != 10 {
+		t.Errorf("coverage ends at %d, want 10", maxT1)
+	}
+}

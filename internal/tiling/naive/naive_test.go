@@ -1,0 +1,70 @@
+package naive
+
+import (
+	"testing"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/grid"
+	"nustencil/internal/stencil"
+	"nustencil/internal/tiling"
+	"nustencil/internal/tiling/schemetest"
+)
+
+func TestNaiveConformance(t *testing.T) {
+	schemetest.Run(t, New())
+}
+
+func TestNaiveMetadata(t *testing.T) {
+	s := New()
+	if s.Name() != "NaiveSSE" || !s.NUMAAware() {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestNaiveTileStructure(t *testing.T) {
+	g := grid.New([]int{10, 10, 10})
+	p := &tiling.Problem{
+		Grid: g, Stencil: stencil.NewStar(3, 1), Timesteps: 4, Workers: 4,
+		Topo: affinity.Fixed{Cores: 4, Nodes: 2},
+	}
+	tiles, err := New().Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 workers x 4 timesteps, height-1 tiles, each owned.
+	if len(tiles) != 16 {
+		t.Fatalf("len(tiles) = %d, want 16", len(tiles))
+	}
+	for _, tile := range tiles {
+		if tile.Height() != 1 {
+			t.Errorf("naive tile height = %d", tile.Height())
+		}
+		if tile.Owner < 0 || tile.Owner >= 4 {
+			t.Errorf("naive tile owner = %d", tile.Owner)
+		}
+		if tile.Node != tile.Owner/2 {
+			t.Errorf("tile node = %d for owner %d", tile.Node, tile.Owner)
+		}
+	}
+}
+
+func TestNaiveDistributeCoversGrid(t *testing.T) {
+	g := grid.New([]int{8, 8, 8})
+	p := &tiling.Problem{
+		Grid: g, Stencil: stencil.NewStar(3, 1), Timesteps: 1, Workers: 4,
+		Topo: affinity.Fixed{Cores: 4, Nodes: 4},
+	}
+	New().Distribute(p)
+	for i := 0; i < g.Len(); i += g.PageSize() {
+		if g.OwnerOfIndex(i) < 0 {
+			t.Fatal("page left unowned after Distribute")
+		}
+	}
+}
+
+func TestNaiveRejectsInvalidProblem(t *testing.T) {
+	p := &tiling.Problem{Grid: grid.New([]int{8, 8}), Stencil: stencil.NewStar(2, 1), Timesteps: 1, Workers: 0}
+	if _, err := New().Tiles(p); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}

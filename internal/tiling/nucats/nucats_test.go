@@ -1,0 +1,152 @@
+package nucats
+
+import (
+	"testing"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/grid"
+	"nustencil/internal/stencil"
+	"nustencil/internal/tiling"
+	"nustencil/internal/tiling/cats"
+	"nustencil/internal/tiling/schemetest"
+)
+
+func TestNuCATSConformance(t *testing.T) {
+	schemetest.Run(t, New())
+}
+
+func TestNuCATSMetadata(t *testing.T) {
+	s := New()
+	if s.Name() != "nuCATS" || !s.NUMAAware() {
+		t.Error("metadata wrong")
+	}
+}
+
+func problem(dims []int, workers, timesteps int, llc int64) *tiling.Problem {
+	return &tiling.Problem{
+		Grid:              grid.New(dims),
+		Stencil:           stencil.NewStar(len(dims), 1),
+		Timesteps:         timesteps,
+		Workers:           workers,
+		Topo:              affinity.Fixed{Cores: workers, Nodes: 2},
+		LLCBytesPerWorker: llc,
+	}
+}
+
+func TestPlanCase1TileCountDividesWorkers(t *testing.T) {
+	// Small cache -> many tiles; the plan must round the count up to a
+	// multiple of the worker count.
+	p := problem([]int{102, 22, 22}, 4, 5, 4<<10)
+	reco := cats.RecommendedWidth(p)
+	n0 := (100 + reco - 1) / reco
+	if n0 <= 4 {
+		t.Skip("cache too large for case 1 on this geometry")
+	}
+	pl := PlanTiles(p)
+	if pl.Tiles%4 != 0 {
+		t.Errorf("tiles = %d, not a multiple of 4 workers", pl.Tiles)
+	}
+	if pl.HalveWavefrontDim {
+		t.Error("case 1 must not halve the wavefront dimension")
+	}
+	if pl.Tiles < n0 {
+		t.Errorf("adjustment must shrink the wavefront (tiles %d < initial %d)", pl.Tiles, n0)
+	}
+}
+
+func TestPlanCase2GrowToWorkerCount(t *testing.T) {
+	// Huge cache -> wide wavefront -> fewer tiles than workers; the extent
+	// per worker stays comfortably above the heuristic minimum, so the plan
+	// grows the tile count to match the workers.
+	p := problem([]int{102, 10, 10}, 8, 2, 1<<30)
+	pl := PlanTiles(p)
+	if pl.Tiles != 8 || pl.HalveWavefrontDim {
+		t.Errorf("plan = %+v, want 8 plain tiles", pl)
+	}
+}
+
+func TestPlanCase2HalvesWavefrontDim(t *testing.T) {
+	// Many workers on a small extent: one slab per worker would be
+	// narrower than the heuristic minimum, so the plan stops at half the
+	// workers and halves the wavefront-traversal dimension.
+	p := problem([]int{34, 34, 34}, 16, 2, 1<<30)
+	reco := cats.RecommendedWidth(p)
+	if reco <= 32/16*4 {
+		t.Skipf("recommendation %d too small to trigger the heuristic", reco)
+	}
+	pl := PlanTiles(p)
+	if !pl.HalveWavefrontDim {
+		t.Fatalf("plan = %+v, want wavefront-dim halving", pl)
+	}
+	if pl.Tiles != 8 {
+		t.Errorf("tiles = %d, want workers/2 = 8", pl.Tiles)
+	}
+	// Total tiles after halving equals the worker count.
+	if got := len(pl.Owners(16)); got != 16 {
+		t.Errorf("total tiles = %d, want 16", got)
+	}
+}
+
+func TestPlanOwnersContiguous(t *testing.T) {
+	pl := Plan{Tiles: 8, TilesPerWorker: 2}
+	owners := pl.Owners(4)
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for i, w := range want {
+		if owners[i] != w {
+			t.Fatalf("owners = %v, want %v", owners, want)
+		}
+	}
+}
+
+func TestNuCATSOwnersAreContiguousGroups(t *testing.T) {
+	p := problem([]int{102, 22, 22}, 4, 3, 4<<10)
+	tiles, err := New().Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep slabs left to right at t=0: owners must be non-decreasing
+	// (contiguous subdomain groups), unlike CATS' round robin.
+	lastLo, lastOwner := -1, 0
+	for _, tile := range tiles {
+		if tile.T0 != 0 {
+			continue
+		}
+		lo := tile.At(0).Lo[cats.TilingDim]
+		if lo < lastLo {
+			t.Fatal("tiles not emitted left to right")
+		}
+		if lo > lastLo {
+			if tile.Owner < lastOwner {
+				t.Fatalf("owner %d after %d: not contiguous", tile.Owner, lastOwner)
+			}
+			lastLo, lastOwner = lo, tile.Owner
+		}
+	}
+}
+
+func TestNuCATSDistributePlacesSlabsOnOwnerNodes(t *testing.T) {
+	// A large cache gives wide slabs (≈25 planes each), so page-granular
+	// first touch puts the bulk of each slab on its owner's node.
+	p := problem([]int{102, 22, 22}, 4, 3, 1<<20)
+	New().Distribute(p)
+	tiles, err := New().Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each worker's first slab segment, most pages should be on the
+	// worker's node.
+	checked := 0
+	for _, tile := range tiles {
+		if tile.T0 != 0 {
+			continue
+		}
+		node := p.NodeOfWorker(tile.Owner)
+		if f := p.Grid.LocalFraction(tile.At(0), node, 2); f < 0.5 {
+			t.Errorf("slab at %v: local fraction %v on node %d", tile.At(0), f, node)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no t=0 tiles found")
+	}
+}

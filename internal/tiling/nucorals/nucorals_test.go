@@ -1,0 +1,164 @@
+package nucorals
+
+import (
+	"testing"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/grid"
+	"nustencil/internal/spacetime"
+	"nustencil/internal/stencil"
+	"nustencil/internal/tiling"
+	"nustencil/internal/tiling/schemetest"
+)
+
+func TestNuCORALSConformance(t *testing.T) {
+	schemetest.Run(t, New())
+}
+
+func TestNuCORALSMetadata(t *testing.T) {
+	s := New()
+	if s.Name() != "nuCORALS" || !s.NUMAAware() {
+		t.Error("metadata wrong")
+	}
+}
+
+func problem(dims []int, workers, timesteps, order int) *tiling.Problem {
+	return &tiling.Problem{
+		Grid:              grid.New(dims),
+		Stencil:           stencil.NewStar(len(dims), order),
+		Timesteps:         timesteps,
+		Workers:           workers,
+		Topo:              affinity.Fixed{Cores: workers, Nodes: 2},
+		LLCBytesPerWorker: 1 << 20,
+	}
+}
+
+func TestTauDefault(t *testing.T) {
+	// 4 workers on 34x34x34 (interior 32^3): decomposition 2x2x1, so the
+	// smallest decomposed extent b = 16 and tau = b/(2s) = 8.
+	p := problem([]int{34, 34, 34}, 4, 16, 1)
+	if tau := New().Tau(p); tau != 8 {
+		t.Errorf("tau = %d, want 8", tau)
+	}
+	// Section IV-F: tau = b/(2s) for higher orders.
+	p2 := problem([]int{36, 36, 36}, 4, 16, 2)
+	// interior 32 (34-2*... order 2 -> interior extent 32), b = 16, tau = 16/4 = 4.
+	if tau := New().Tau(p2); tau != 4 {
+		t.Errorf("order-2 tau = %d, want 4", tau)
+	}
+	// Explicit override wins.
+	s := &Scheme{Params: Params{Tau: 3}}
+	if tau := s.Tau(p); tau != 3 {
+		t.Errorf("override tau = %d", tau)
+	}
+}
+
+func TestTauSingleWorkerPositive(t *testing.T) {
+	p := problem([]int{10, 12, 14}, 1, 4, 1)
+	if tau := New().Tau(p); tau < 1 {
+		t.Errorf("tau = %d", tau)
+	}
+}
+
+func TestNuCORALSCoverAndOwnership(t *testing.T) {
+	p := problem([]int{20, 20, 20}, 4, 9, 1)
+	tiles, err := New().Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spacetime.ValidateCover(tiles, p.Interior(), 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	// Every tile is owned and the owners span the workers.
+	seen := map[int]bool{}
+	for _, tile := range tiles {
+		if tile.Owner < 0 || tile.Owner >= 4 {
+			t.Fatalf("tile owner %d out of range", tile.Owner)
+		}
+		seen[tile.Owner] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("only %d workers own tiles", len(seen))
+	}
+}
+
+func TestNuCORALSTilesStayInOwnersSlab(t *testing.T) {
+	// Each worker's tiles at layer start (dt=0) must lie inside its
+	// unskewed subdomain (the slab at dt=0 is the subdomain itself).
+	p := problem([]int{34, 34, 34}, 4, 4, 1)
+	subs, _ := tiling.Decompose(p.Interior(), 4)
+	tiles, err := New().Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range tiles {
+		if tile.T0 != 0 {
+			continue
+		}
+		c := tile.At(0)
+		if c.Empty() {
+			continue
+		}
+		if !subs[tile.Owner].ContainsBox(c) {
+			t.Fatalf("worker %d tile %v outside its subdomain %v",
+				tile.Owner, c, subs[tile.Owner])
+		}
+	}
+}
+
+func TestNuCORALSLayerStructure(t *testing.T) {
+	p := problem([]int{34, 34, 34}, 4, 20, 1)
+	tau := New().Tau(p) // 8
+	tiles, err := New().Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No tile may cross a layer boundary (global barrier between layers).
+	for _, tile := range tiles {
+		layer := tile.T0 / tau
+		if (tile.T1()-1)/tau != layer {
+			t.Fatalf("tile t=[%d,%d) crosses a layer boundary (tau=%d)",
+				tile.T0, tile.T1(), tau)
+		}
+	}
+}
+
+func TestNuCORALSAutoCoarsensTileCount(t *testing.T) {
+	p := problem([]int{66, 66, 66}, 8, 32, 1)
+	s := &Scheme{Params: Params{MaxTiles: 500}}
+	tiles, err := s.Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cap is a worst-case estimate; allow slack for clipping but the
+	// count must stay within a small factor of it.
+	if len(tiles) > 1000 {
+		t.Errorf("tile count %d far exceeds cap 500", len(tiles))
+	}
+	if err := spacetime.ValidateCover(tiles, p.Interior(), 0, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiIndexRoundTrip(t *testing.T) {
+	counts := []int{4, 2, 1}
+	for w := 0; w < 8; w++ {
+		idx := multiIndex(w, counts)
+		got := (idx[0]*2+idx[1])*1 + idx[2]
+		if got != w {
+			t.Fatalf("multiIndex(%d) = %v", w, idx)
+		}
+	}
+}
+
+func TestNuCORALSDistributeSubdomains(t *testing.T) {
+	p := problem([]int{66, 66, 66}, 4, 2, 1)
+	New().Distribute(p)
+	subs, _ := tiling.Decompose(p.Interior(), 4)
+	for w, sd := range subs {
+		node := p.NodeOfWorker(w)
+		if f := p.Grid.LocalFraction(sd, node, 2); f < 0.5 {
+			t.Errorf("worker %d subdomain local fraction %v", w, f)
+		}
+	}
+}

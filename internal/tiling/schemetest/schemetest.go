@@ -1,0 +1,182 @@
+// Package schemetest provides the shared conformance harness every tiling
+// scheme's tests run: the scheme's tiling must cover the space-time exactly
+// once, execute through the engine without deadlock, and reproduce the
+// serial reference solution bit-for-bit.
+package schemetest
+
+import (
+	"math/rand"
+	"testing"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/engine"
+	"nustencil/internal/grid"
+	"nustencil/internal/spacetime"
+	"nustencil/internal/stencil"
+	"nustencil/internal/tiling"
+	"nustencil/internal/verify"
+)
+
+// Case describes one conformance scenario.
+type Case struct {
+	Name      string
+	Dims      []int
+	Order     int
+	Banded    bool
+	Source    bool // attach a per-cell source term
+	Timesteps int
+	Workers   int
+	Nodes     int
+	// LLCBytes optionally overrides the per-worker cache hint (cache-aware
+	// schemes size wavefronts from it). Zero means 1 KiB, small enough to
+	// force real tiling on test-sized grids.
+	LLCBytes int64
+	Seed     int64
+}
+
+// DefaultCases is the conformance matrix applied to every scheme: mixed
+// dimensions, orders, worker counts, banded coefficients, and worker counts
+// exceeding tile-friendly splits.
+func DefaultCases() []Case {
+	return []Case{
+		{Name: "3d-s1-4w", Dims: []int{10, 11, 12}, Order: 1, Timesteps: 7, Workers: 4, Nodes: 2},
+		{Name: "3d-s1-1w", Dims: []int{8, 8, 8}, Order: 1, Timesteps: 5, Workers: 1, Nodes: 1},
+		{Name: "3d-s2", Dims: []int{12, 13, 11}, Order: 2, Timesteps: 6, Workers: 3, Nodes: 3},
+		{Name: "3d-s3", Dims: []int{14, 13, 12}, Order: 3, Timesteps: 4, Workers: 2, Nodes: 2},
+		{Name: "2d-s1", Dims: []int{16, 14}, Order: 1, Timesteps: 8, Workers: 4, Nodes: 2},
+		{Name: "1d-s1", Dims: []int{40}, Order: 1, Timesteps: 6, Workers: 3, Nodes: 3},
+		{Name: "banded-3d", Dims: []int{9, 10, 11}, Order: 1, Banded: true, Timesteps: 5, Workers: 4, Nodes: 2},
+		{Name: "many-workers", Dims: []int{9, 9, 16}, Order: 1, Timesteps: 6, Workers: 8, Nodes: 4},
+		{Name: "zero-steps", Dims: []int{8, 8, 8}, Order: 1, Timesteps: 0, Workers: 2, Nodes: 1},
+		{Name: "tall-time", Dims: []int{8, 8, 10}, Order: 1, Timesteps: 20, Workers: 2, Nodes: 2},
+		{Name: "with-source", Dims: []int{10, 10, 10}, Order: 1, Source: true, Timesteps: 6, Workers: 3, Nodes: 2},
+		{Name: "4d", Dims: []int{6, 7, 6, 8}, Order: 1, Timesteps: 4, Workers: 4, Nodes: 2},
+	}
+}
+
+// Run exercises the scheme on all cases.
+func Run(t *testing.T, s tiling.Scheme) {
+	t.Helper()
+	for _, c := range DefaultCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) { RunCase(t, s, c) })
+	}
+	t.Run("randomized", func(t *testing.T) { RunRandom(t, s, 25) })
+}
+
+// RunRandom fuzzes the scheme with count random problems: random
+// dimensionality (1–3), shape, order, worker count, coefficients, and
+// cache hints. Any failure reports the generating seed for replay.
+func RunRandom(t *testing.T, s tiling.Scheme, count int) {
+	t.Helper()
+	for seed := int64(0); seed < int64(count); seed++ {
+		r := rand.New(rand.NewSource(seed * 7919))
+		nd := 1 + r.Intn(3)
+		order := 1 + r.Intn(2)
+		dims := make([]int, nd)
+		for k := range dims {
+			dims[k] = 2*order + 2 + r.Intn(10)
+		}
+		c := Case{
+			Name:      "fuzz",
+			Dims:      dims,
+			Order:     order,
+			Banded:    r.Intn(4) == 0,
+			Source:    r.Intn(4) == 0,
+			Timesteps: r.Intn(9),
+			Workers:   1 + r.Intn(6),
+			Nodes:     1 + r.Intn(3),
+			LLCBytes:  int64(1) << (9 + r.Intn(10)),
+			Seed:      seed,
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("%s panicked on seed %d (%+v): %v", s.Name(), seed, c, p)
+				}
+			}()
+			RunCase(t, s, c)
+		}()
+		if t.Failed() {
+			t.Fatalf("seed %d: %+v", seed, c)
+		}
+	}
+}
+
+// RunCase builds the problem, checks exact cover, executes through the
+// engine, and compares against the serial reference.
+func RunCase(t *testing.T, s tiling.Scheme, c Case) {
+	t.Helper()
+	r := rand.New(rand.NewSource(c.Seed + 12345))
+	nd := len(c.Dims)
+
+	ref := grid.New(c.Dims)
+	ref.FillFunc(func(pt []int) float64 { return r.Float64()*2 - 1 })
+	got := ref.Clone()
+
+	var st *stencil.Stencil
+	var refOp, gotOp *stencil.Op
+	if c.Banded {
+		st = stencil.NewBandedStar(nd, c.Order)
+		coeffs := stencil.NewCoefficients(st, ref)
+		coeffs.FillFunc(func(p, idx int) float64 { return r.Float64() * 0.2 })
+		refOp = stencil.NewBandedOp(st, ref, coeffs)
+		gotOp = stencil.NewBandedOp(st, got, coeffs)
+	} else {
+		st = stencil.NewStar(nd, c.Order)
+		refOp = stencil.NewOp(st, ref)
+		gotOp = stencil.NewOp(st, got)
+	}
+	if c.Source {
+		src := make([]float64, ref.Len())
+		for i := range src {
+			src[i] = r.Float64() * 0.1
+		}
+		refOp.SetSource(src)
+		gotOp.SetSource(src)
+	}
+
+	verify.Solve(refOp, c.Timesteps)
+
+	nodes := c.Nodes
+	if nodes == 0 {
+		nodes = 1
+	}
+	llc := c.LLCBytes
+	if llc == 0 {
+		llc = 1 << 10
+	}
+	p := &tiling.Problem{
+		Grid:              got,
+		Stencil:           st,
+		Timesteps:         c.Timesteps,
+		Workers:           c.Workers,
+		Topo:              affinity.Fixed{Cores: c.Workers, Nodes: nodes},
+		LLCBytesPerWorker: llc,
+	}
+	s.Distribute(p)
+	tiles, err := s.Tiles(p)
+	if err != nil {
+		t.Fatalf("%s.Tiles: %v", s.Name(), err)
+	}
+	if err := spacetime.ValidateCover(tiles, p.Interior(), 0, c.Timesteps); err != nil {
+		t.Fatalf("%s cover: %v", s.Name(), err)
+	}
+	_, err = engine.Run(tiles, engine.Config{
+		Workers: c.Workers,
+		Order:   c.Order,
+		Exec: func(w int, tile *spacetime.Tile) int64 {
+			var n int64
+			for _, sb := range tiling.TraverseOrDefault(s, tile, c.Order) {
+				n += gotOp.ApplyBox(sb.Box, sb.T)
+			}
+			return n
+		},
+	})
+	if err != nil {
+		t.Fatalf("%s engine: %v", s.Name(), err)
+	}
+	if err := verify.Compare(got, ref, c.Timesteps); err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+}

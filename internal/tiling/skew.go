@@ -1,0 +1,43 @@
+package tiling
+
+import (
+	"nustencil/internal/grid"
+)
+
+// SkewedBoxAt returns the spatial box of one subdomain of a skewed
+// partition at timestep offset dt. splits[k] holds the cut coordinates of
+// dimension k (length counts[k]+1, both ends included) and idx[k] selects
+// the subdomain's slot. Interior cut lines translate by slope[k]·dt and
+// clamp into the interior; the outermost boundaries stay pinned to the
+// domain edges so the slabs partition the interior at every timestep (the
+// non-periodic counterpart of the paper's wrap-around).
+func SkewedBoxAt(interior grid.Box, splits [][]int, idx []int, slope []int, dt int) grid.Box {
+	nd := interior.NumDims()
+	b := interior.Clone()
+	for k := 0; k < nd; k++ {
+		if len(splits[k]) == 0 {
+			continue
+		}
+		b.Lo[k] = skewedCut(interior, splits[k], idx[k], slope[k], dt, k)
+		b.Hi[k] = skewedCut(interior, splits[k], idx[k]+1, slope[k], dt, k)
+	}
+	return b
+}
+
+// skewedCut returns the position of cut j of dimension k at offset dt.
+func skewedCut(interior grid.Box, cuts []int, j, slope, dt, k int) int {
+	if j <= 0 {
+		return interior.Lo[k]
+	}
+	if j >= len(cuts)-1 {
+		return interior.Hi[k]
+	}
+	c := cuts[j] + slope*dt
+	if c < interior.Lo[k] {
+		c = interior.Lo[k]
+	}
+	if c > interior.Hi[k] {
+		c = interior.Hi[k]
+	}
+	return c
+}

@@ -1,0 +1,209 @@
+package tiling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/grid"
+	"nustencil/internal/stencil"
+)
+
+func interior3(x, y, z int) grid.Box {
+	return grid.NewBox([]int{1, 1, 1}, []int{x + 1, y + 1, z + 1})
+}
+
+func TestDecomposeSectionIIIDExamples(t *testing.T) {
+	// m=4 space-time (3D space): n=4 -> 2x2x1; n=8 -> 4x2x1 with the
+	// higher-stride dimension getting the 4.
+	in := interior3(16, 16, 16)
+	_, counts := Decompose(in, 4)
+	if counts[0] != 2 || counts[1] != 2 || counts[2] != 1 {
+		t.Errorf("n=4 counts = %v, want [2 2 1]", counts)
+	}
+	_, counts = Decompose(in, 8)
+	if counts[0] != 4 || counts[1] != 2 || counts[2] != 1 {
+		t.Errorf("n=8 counts = %v, want [4 2 1]", counts)
+	}
+	_, counts = Decompose(in, 6)
+	if counts[0]*counts[1] != 6 || counts[2] != 1 || counts[0] < counts[1] {
+		t.Errorf("n=6 counts = %v", counts)
+	}
+}
+
+func TestDecomposeNeverCutsUnitStride(t *testing.T) {
+	in := interior3(8, 8, 64)
+	for n := 1; n <= 16; n++ {
+		boxes, counts := Decompose(in, n)
+		if counts[2] != 1 {
+			t.Errorf("n=%d cut the unit-stride dimension: %v", n, counts)
+		}
+		if len(boxes) != n {
+			t.Errorf("n=%d produced %d boxes", n, len(boxes))
+		}
+	}
+}
+
+func TestDecompose1DGridCutsOnlyDim(t *testing.T) {
+	in := grid.NewBox([]int{1}, []int{41})
+	boxes, counts := Decompose(in, 4)
+	if counts[0] != 4 || len(boxes) != 4 {
+		t.Errorf("1D: counts=%v boxes=%d", counts, len(boxes))
+	}
+}
+
+func TestDecomposePartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nd := 1 + r.Intn(3)
+		lo := make([]int, nd)
+		hi := make([]int, nd)
+		for k := range lo {
+			lo[k] = r.Intn(3)
+			hi[k] = lo[k] + 4 + r.Intn(20)
+		}
+		in := grid.Box{Lo: lo, Hi: hi}
+		n := 1 + r.Intn(12)
+		boxes, counts := Decompose(in, n)
+		prod := 1
+		for _, c := range counts {
+			prod *= c
+		}
+		if prod != n || len(boxes) != n {
+			return false
+		}
+		// Partition: sizes sum, pairwise disjoint.
+		var sum int64
+		for i, b := range boxes {
+			sum += b.Size()
+			for j := i + 1; j < len(boxes); j++ {
+				if b.Intersects(boxes[j]) {
+					return false
+				}
+			}
+			if !in.ContainsBox(b) {
+				return false
+			}
+		}
+		return sum == in.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewedBoxPartitionAtEveryOffset(t *testing.T) {
+	in := grid.NewBox([]int{0, 0}, []int{40, 24})
+	splits := [][]int{{0, 10, 20, 30, 40}, {0, 24}}
+	slope := []int{1, 0}
+	for dt := 0; dt < 30; dt++ { // far enough that cuts clamp
+		var sum int64
+		var boxes []grid.Box
+		for i := 0; i < 4; i++ {
+			b := SkewedBoxAt(in, splits, []int{i, 0}, slope, dt)
+			sum += b.Size()
+			boxes = append(boxes, b)
+		}
+		if sum != in.Size() {
+			t.Fatalf("dt=%d: sum=%d want %d", dt, sum, in.Size())
+		}
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if boxes[i].Intersects(boxes[j]) {
+					t.Fatalf("dt=%d: slabs %d,%d overlap", dt, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSkewedBoxPinnedEdges(t *testing.T) {
+	in := grid.NewBox([]int{2}, []int{42})
+	splits := [][]int{{2, 22, 42}}
+	// Left slab's left edge stays pinned; interior cut moves.
+	b0 := SkewedBoxAt(in, splits, []int{0}, []int{3}, 5)
+	if b0.Lo[0] != 2 || b0.Hi[0] != 37 {
+		t.Errorf("slab 0 at dt=5: %v", b0)
+	}
+	b1 := SkewedBoxAt(in, splits, []int{1}, []int{3}, 5)
+	if b1.Lo[0] != 37 || b1.Hi[0] != 42 {
+		t.Errorf("slab 1 at dt=5: %v", b1)
+	}
+	// Far offsets clamp to the domain edge.
+	bFar := SkewedBoxAt(in, splits, []int{1}, []int{3}, 100)
+	if !bFar.Empty() {
+		t.Errorf("slab 1 at dt=100 should be empty, got %v", bFar)
+	}
+}
+
+func TestWorkerOfBox(t *testing.T) {
+	subs := []grid.Box{
+		grid.NewBox([]int{0}, []int{10}),
+		grid.NewBox([]int{10}, []int{20}),
+	}
+	if w := WorkerOfBox(subs, grid.NewBox([]int{8}, []int{12})); w != 0 {
+		t.Errorf("tie-ish box -> %d, want 0 (equal overlap prefers lower)", w)
+	}
+	if w := WorkerOfBox(subs, grid.NewBox([]int{9}, []int{15})); w != 1 {
+		t.Errorf("majority box -> %d, want 1", w)
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	g := grid.New([]int{8, 8})
+	st := stencil.NewStar(2, 1)
+	good := &Problem{Grid: g, Stencil: st, Timesteps: 3, Workers: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good problem rejected: %v", err)
+	}
+	bad := []*Problem{
+		{Stencil: st, Timesteps: 1, Workers: 1},
+		{Grid: g, Timesteps: 1, Workers: 1},
+		{Grid: g, Stencil: stencil.NewStar(3, 1), Timesteps: 1, Workers: 1},
+		{Grid: g, Stencil: st, Timesteps: -1, Workers: 1},
+		{Grid: g, Stencil: st, Timesteps: 1, Workers: 0},
+		{Grid: grid.New([]int{2, 2}), Stencil: st, Timesteps: 1, Workers: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+func TestProblemNodeHelpers(t *testing.T) {
+	p := &Problem{Workers: 8, Topo: affinity.Fixed{Cores: 8, Nodes: 4}}
+	if p.NumNodes() != 4 {
+		t.Errorf("NumNodes = %d", p.NumNodes())
+	}
+	if p.NodeOfWorker(7) != 3 {
+		t.Errorf("NodeOfWorker(7) = %d", p.NodeOfWorker(7))
+	}
+	bare := &Problem{Workers: 4}
+	if bare.NumNodes() != 1 || bare.NodeOfWorker(3) != 0 {
+		t.Error("topology-less problem should be single-node")
+	}
+}
+
+func TestTouchSubdomains(t *testing.T) {
+	g := grid.NewWithPageSize([]int{4, 16}, 4)
+	st := stencil.NewStar(2, 1)
+	p := &Problem{Grid: g, Stencil: st, Timesteps: 1, Workers: 2,
+		Topo: affinity.Fixed{Cores: 2, Nodes: 2}}
+	subs, _ := Decompose(p.Interior(), 2)
+	TouchSubdomains(p, subs)
+	// Every page must be owned after TouchSubdomains.
+	for i := 0; i < g.Len(); i += g.PageSize() {
+		if g.OwnerOfIndex(i) < 0 {
+			t.Fatalf("page of index %d unowned", i)
+		}
+	}
+	// The two subdomains' interiors land on different nodes.
+	if f := g.LocalFraction(subs[0], 0, 2); f < 0.5 {
+		t.Errorf("sub0 local fraction on node0 = %v", f)
+	}
+	if f := g.LocalFraction(subs[1], 1, 2); f < 0.5 {
+		t.Errorf("sub1 local fraction on node1 = %v", f)
+	}
+}

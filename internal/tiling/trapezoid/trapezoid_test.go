@@ -1,0 +1,88 @@
+package trapezoid
+
+import (
+	"testing"
+
+	"nustencil/internal/grid"
+	"nustencil/internal/spacetime"
+	"nustencil/internal/stencil"
+	"nustencil/internal/tiling"
+	"nustencil/internal/tiling/schemetest"
+)
+
+func TestTrapezoidConformance(t *testing.T) {
+	schemetest.Run(t, New())
+}
+
+func TestTrapezoidMetadata(t *testing.T) {
+	s := New()
+	if s.Name() != "Pochoir" || s.NUMAAware() {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestTrapezoidCoverLargerCase(t *testing.T) {
+	p := &tiling.Problem{
+		Grid: grid.New([]int{40, 30, 20}), Stencil: stencil.NewStar(3, 1),
+		Timesteps: 10, Workers: 4,
+	}
+	tiles, err := New().Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spacetime.ValidateCover(tiles, p.Interior(), 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	// All tiles go to the shared (work-stealing) queue.
+	for _, tile := range tiles {
+		if tile.Owner != -1 {
+			t.Fatal("trapezoid tiles must be unowned")
+		}
+	}
+}
+
+func TestTrapezoidHighOrderCover(t *testing.T) {
+	p := &tiling.Problem{
+		Grid: grid.New([]int{30, 30, 30}), Stencil: stencil.NewStar(3, 3),
+		Timesteps: 6, Workers: 2,
+	}
+	tiles, err := New().Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spacetime.ValidateCover(tiles, p.Interior(), 0, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrapezoidProducesTemporalTiles(t *testing.T) {
+	// The point of the decomposition: tiles taller than one timestep.
+	p := &tiling.Problem{
+		Grid: grid.New([]int{66, 66, 66}), Stencil: stencil.NewStar(3, 1),
+		Timesteps: 16, Workers: 2,
+	}
+	tiles, err := New().Tiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tall := 0
+	for _, tile := range tiles {
+		if tile.Height() > 1 {
+			tall++
+		}
+	}
+	if tall == 0 {
+		t.Error("no temporal blocking produced")
+	}
+}
+
+func TestTrapezoidZeroSteps(t *testing.T) {
+	p := &tiling.Problem{
+		Grid: grid.New([]int{10, 10}), Stencil: stencil.NewStar(2, 1),
+		Timesteps: 0, Workers: 2,
+	}
+	tiles, err := New().Tiles(p)
+	if err != nil || len(tiles) != 0 {
+		t.Fatalf("zero steps: %d tiles, err %v", len(tiles), err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package trace records the execution timeline of a tiled run — which
+// worker executed which space-time tile when — and renders it as a text
+// timeline with utilization analysis. It is the observability layer for
+// understanding scheduling behaviour: pipeline fill of the skewed slabs,
+// layer barriers of nuCORALS, the serialization NUMA-ignorant schemes
+// suffer.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one tile execution.
+type Event struct {
+	Worker  int
+	TileID  int
+	T0, T1  int // the tile's timestep range
+	Updates int64
+	Start   time.Duration // offsets from the trace start
+	End     time.Duration
+}
+
+// Trace collects events from a run. It is safe for concurrent use by the
+// engine's workers.
+type Trace struct {
+	mu     sync.Mutex
+	origin time.Time
+	events []Event
+}
+
+// New returns an empty trace starting now.
+func New() *Trace {
+	return &Trace{origin: time.Now()}
+}
+
+// Record adds one tile execution. start/end are absolute times.
+func (tr *Trace) Record(worker, tileID, t0, t1 int, updates int64, start, end time.Time) {
+	tr.mu.Lock()
+	tr.events = append(tr.events, Event{
+		Worker: worker, TileID: tileID, T0: t0, T1: t1, Updates: updates,
+		Start: start.Sub(tr.origin), End: end.Sub(tr.origin),
+	})
+	tr.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by start time.
+func (tr *Trace) Events() []Event {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := append([]Event(nil), tr.events...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Span returns the wall time from the first start to the last end.
+func (tr *Trace) Span() time.Duration {
+	evs := tr.Events()
+	if len(evs) == 0 {
+		return 0
+	}
+	var end time.Duration
+	for _, e := range evs {
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return end - evs[0].Start
+}
+
+// Utilization returns each worker's busy fraction of the trace span.
+func (tr *Trace) Utilization(workers int) []float64 {
+	span := tr.Span()
+	util := make([]float64, workers)
+	if span <= 0 {
+		return util
+	}
+	for _, e := range tr.Events() {
+		if e.Worker >= 0 && e.Worker < workers {
+			util[e.Worker] += float64(e.End-e.Start) / float64(span)
+		}
+	}
+	return util
+}
+
+// Timeline renders a text Gantt chart: one row per worker, time bucketed
+// into width columns, each cell showing how busy the worker was in that
+// bucket (' ' idle, '░' <50%, '▒' <90%, '█' busy).
+func (tr *Trace) Timeline(workers, width int) string {
+	if width < 1 {
+		width = 60
+	}
+	evs := tr.Events()
+	span := tr.Span()
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline (%d tiles over %v)\n", len(evs), span.Round(time.Microsecond))
+	if span <= 0 {
+		return b.String()
+	}
+	t0 := evs[0].Start
+	buckets := make([][]float64, workers)
+	for w := range buckets {
+		buckets[w] = make([]float64, width)
+	}
+	bucket := span / time.Duration(width)
+	if bucket <= 0 {
+		bucket = 1
+	}
+	for _, e := range evs {
+		if e.Worker < 0 || e.Worker >= workers {
+			continue
+		}
+		for bi := 0; bi < width; bi++ {
+			bStart := t0 + time.Duration(bi)*bucket
+			bEnd := bStart + bucket
+			ov := minDur(e.End, bEnd) - maxDur(e.Start, bStart)
+			if ov > 0 {
+				buckets[e.Worker][bi] += float64(ov) / float64(bucket)
+			}
+		}
+	}
+	util := tr.Utilization(workers)
+	for w := 0; w < workers; w++ {
+		fmt.Fprintf(&b, "w%-3d |", w)
+		for _, v := range buckets[w] {
+			switch {
+			case v <= 0.01:
+				b.WriteByte(' ')
+			case v < 0.5:
+				b.WriteRune('░')
+			case v < 0.9:
+				b.WriteRune('▒')
+			default:
+				b.WriteRune('█')
+			}
+		}
+		fmt.Fprintf(&b, "| %3.0f%%\n", util[w]*100)
+	}
+	return b.String()
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mk(t0 time.Time) *Trace {
+	tr := New()
+	tr.origin = t0
+	return tr
+}
+
+func TestEventsSortedAndSpan(t *testing.T) {
+	t0 := time.Now()
+	tr := mk(t0)
+	tr.Record(1, 2, 0, 1, 10, t0.Add(30*time.Millisecond), t0.Add(40*time.Millisecond))
+	tr.Record(0, 1, 0, 1, 10, t0.Add(10*time.Millisecond), t0.Add(20*time.Millisecond))
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].TileID != 1 {
+		t.Fatalf("events not sorted: %+v", evs)
+	}
+	if got := tr.Span(); got != 30*time.Millisecond {
+		t.Errorf("span = %v, want 30ms", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	t0 := time.Now()
+	tr := mk(t0)
+	// Worker 0 busy the whole 100ms span; worker 1 busy half.
+	tr.Record(0, 0, 0, 1, 1, t0, t0.Add(100*time.Millisecond))
+	tr.Record(1, 1, 0, 1, 1, t0, t0.Add(50*time.Millisecond))
+	u := tr.Utilization(2)
+	if u[0] < 0.99 || u[0] > 1.01 {
+		t.Errorf("worker 0 utilization = %v", u[0])
+	}
+	if u[1] < 0.49 || u[1] > 0.51 {
+		t.Errorf("worker 1 utilization = %v", u[1])
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	t0 := time.Now()
+	tr := mk(t0)
+	tr.Record(0, 0, 0, 1, 1, t0, t0.Add(80*time.Millisecond))
+	tr.Record(1, 1, 0, 1, 1, t0.Add(40*time.Millisecond), t0.Add(80*time.Millisecond))
+	out := tr.Timeline(2, 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "w0") || !strings.Contains(lines[1], "█") {
+		t.Errorf("worker 0 row wrong: %q", lines[1])
+	}
+	// Worker 1's row starts idle.
+	w1 := lines[2]
+	bar := w1[strings.IndexByte(w1, '|')+1:]
+	if !strings.HasPrefix(bar, " ") {
+		t.Errorf("worker 1 should start idle: %q", w1)
+	}
+}
+
+func TestEmptyTraceSafe(t *testing.T) {
+	tr := New()
+	if tr.Span() != 0 {
+		t.Error("empty span")
+	}
+	if out := tr.Timeline(2, 10); !strings.Contains(out, "0 tiles") {
+		t.Errorf("empty timeline: %q", out)
+	}
+	u := tr.Utilization(3)
+	for _, v := range u {
+		if v != 0 {
+			t.Error("empty utilization should be zero")
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(w, i, 0, 1, 1, start, start.Add(time.Millisecond))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 800 {
+		t.Errorf("events = %d, want 800", got)
+	}
+}

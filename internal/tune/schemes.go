@@ -1,0 +1,139 @@
+package tune
+
+import (
+	"fmt"
+	"time"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/engine"
+	"nustencil/internal/grid"
+	"nustencil/internal/spacetime"
+	"nustencil/internal/stencil"
+	"nustencil/internal/tiling"
+	"nustencil/internal/tiling/cats"
+	"nustencil/internal/tiling/diamond"
+	"nustencil/internal/tiling/nucats"
+	"nustencil/internal/tiling/nucorals"
+)
+
+// Workload describes the problem the tuner measures against.
+type Workload struct {
+	Dims      []int
+	Timesteps int
+	Workers   int
+	LLCBytes  int64
+}
+
+func (w Workload) problem() *tiling.Problem {
+	llc := w.LLCBytes
+	if llc <= 0 {
+		llc = 1 << 20
+	}
+	g := grid.New(w.Dims)
+	g.FillFunc(func(pt []int) float64 { return float64(pt[0]&7) * 0.25 })
+	return &tiling.Problem{
+		Grid:              g,
+		Stencil:           stencil.NewStar(len(w.Dims), 1),
+		Timesteps:         w.Timesteps,
+		Workers:           w.Workers,
+		Topo:              affinity.Fixed{Cores: w.Workers, Nodes: 1},
+		LLCBytesPerWorker: llc,
+	}
+}
+
+// measureScheme executes one tiling for real and returns Gupdates/s.
+func measureScheme(w Workload, sch tiling.Scheme) (float64, error) {
+	p := w.problem()
+	sch.Distribute(p)
+	tiles, err := sch.Tiles(p)
+	if err != nil {
+		return 0, err
+	}
+	op := stencil.NewOp(p.Stencil, p.Grid)
+	start := time.Now()
+	stats, err := engine.Run(tiles, engine.Config{
+		Workers: p.Workers,
+		Order:   1,
+		Exec: func(wk int, tile *spacetime.Tile) int64 {
+			var n int64
+			for ts := tile.T0; ts < tile.T1(); ts++ {
+				n += op.ApplyBox(tile.At(ts), ts)
+			}
+			return n
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	sec := time.Since(start).Seconds()
+	if sec <= 0 {
+		return 0, fmt.Errorf("tune: degenerate timing")
+	}
+	return float64(stats.TotalUpdates) / sec / 1e9, nil
+}
+
+// SpaceFor returns the search space for a scheme name, sized to the
+// workload's dimensions.
+func SpaceFor(scheme string, w Workload) (Space, error) {
+	unit := w.Dims[len(w.Dims)-1]
+	switch scheme {
+	case "nuCORALS":
+		return Space{
+			{Name: "baseHeight", Values: []int{4, 8, 16}},
+			{Name: "baseExtent", Values: []int{16, 32, 64}},
+			{Name: "baseUnit", Values: []int{64, 128, unit}},
+		}, nil
+	case "nuCATS":
+		return Space{
+			{Name: "segment", Values: []int{1, 2, 4, 8}},
+		}, nil
+	case "CATS":
+		return Space{
+			{Name: "segment", Values: []int{1, 2, 4, 8}},
+			{Name: "width", Values: []int{0, 8, 16, 32}},
+		}, nil
+	case "PLuTo":
+		return Space{
+			{Name: "timeBlock", Values: []int{4, 8, 16}},
+			{Name: "width", Values: []int{16, 32, 64}},
+		}, nil
+	default:
+		return nil, fmt.Errorf("tune: no search space for scheme %q", scheme)
+	}
+}
+
+// MeasureFor returns the measurement function for a scheme name.
+func MeasureFor(scheme string, w Workload) (Measure, error) {
+	switch scheme {
+	case "nuCORALS":
+		return func(s Setting) (float64, error) {
+			return measureScheme(w, &nucorals.Scheme{Params: nucorals.Params{
+				BaseHeight:     s["baseHeight"],
+				BaseExtent:     s["baseExtent"],
+				BaseUnitExtent: s["baseUnit"],
+			}})
+		}, nil
+	case "nuCATS":
+		return func(s Setting) (float64, error) {
+			return measureScheme(w, &nucats.Scheme{Params: cats.Params{
+				SegmentHeight: s["segment"],
+			}})
+		}, nil
+	case "CATS":
+		return func(s Setting) (float64, error) {
+			return measureScheme(w, &cats.Scheme{Params: cats.Params{
+				SegmentHeight: s["segment"],
+				WidthOverride: s["width"],
+			}})
+		}, nil
+	case "PLuTo":
+		return func(s Setting) (float64, error) {
+			return measureScheme(w, &diamond.Scheme{Params: diamond.Params{
+				TimeBlock: s["timeBlock"],
+				Width:     s["width"],
+			}})
+		}, nil
+	default:
+		return nil, fmt.Errorf("tune: no measurement for scheme %q", scheme)
+	}
+}

@@ -1,0 +1,118 @@
+// Package tune is the auto-tuning harness the paper's related work frames
+// temporal blocking against ([4]–[6]): an exhaustive grid search over a
+// scheme's parameter space, measuring real executions on the host and
+// ranking the candidates. nuCATS/nuCORALS are designed to perform well with
+// default parameters; the tuner quantifies how much headroom manual tuning
+// leaves on a given machine.
+package tune
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Param is one tunable dimension of the search space.
+type Param struct {
+	Name   string
+	Values []int
+}
+
+// Space is a full parameter space (the cartesian product of its params).
+type Space []Param
+
+// Size returns the number of candidate settings.
+func (s Space) Size() int {
+	n := 1
+	for _, p := range s {
+		n *= len(p.Values)
+	}
+	return n
+}
+
+// Setting is one concrete assignment.
+type Setting map[string]int
+
+// Result is one measured candidate.
+type Result struct {
+	Setting  Setting
+	Gupdates float64
+	// Err records a failed candidate (e.g. invalid parameter combination);
+	// failed candidates rank last.
+	Err error
+}
+
+func (r Result) String() string {
+	if r.Err != nil {
+		return fmt.Sprintf("%v: error: %v", r.Setting, r.Err)
+	}
+	return fmt.Sprintf("%v: %.4f Gupdates/s", r.Setting, r.Gupdates)
+}
+
+// Measure runs one candidate and returns its rate in Gupdates/s.
+type Measure func(Setting) (float64, error)
+
+// Options control the search.
+type Options struct {
+	// Repeats per candidate; the best repeat counts (default 3).
+	Repeats int
+	// Budget bounds the total search time; once exceeded, remaining
+	// candidates are skipped (0 = unlimited).
+	Budget time.Duration
+}
+
+// GridSearch measures every setting of the space and returns results
+// sorted best first. Skipped candidates (budget exhausted) are omitted.
+func GridSearch(space Space, measure Measure, opts Options) []Result {
+	repeats := opts.Repeats
+	if repeats <= 0 {
+		repeats = 3
+	}
+	start := time.Now()
+	var out []Result
+	enumerate(space, Setting{}, 0, func(s Setting) bool {
+		if opts.Budget > 0 && time.Since(start) > opts.Budget {
+			return false
+		}
+		// Copy: the callback reuses the map.
+		setting := Setting{}
+		for k, v := range s {
+			setting[k] = v
+		}
+		best := 0.0
+		var err error
+		for r := 0; r < repeats; r++ {
+			g, e := measure(setting)
+			if e != nil {
+				err = e
+				break
+			}
+			if g > best {
+				best = g
+			}
+		}
+		out = append(out, Result{Setting: setting, Gupdates: best, Err: err})
+		return true
+	})
+	sort.SliceStable(out, func(i, j int) bool {
+		if (out[i].Err == nil) != (out[j].Err == nil) {
+			return out[i].Err == nil
+		}
+		return out[i].Gupdates > out[j].Gupdates
+	})
+	return out
+}
+
+// enumerate walks the cartesian product; cont=false aborts.
+func enumerate(space Space, acc Setting, k int, visit func(Setting) bool) bool {
+	if k == len(space) {
+		return visit(acc)
+	}
+	for _, v := range space[k].Values {
+		acc[space[k].Name] = v
+		if !enumerate(space, acc, k+1, visit) {
+			return false
+		}
+	}
+	return true
+}

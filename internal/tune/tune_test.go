@@ -1,0 +1,108 @@
+package tune
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSpaceSizeAndEnumeration(t *testing.T) {
+	space := Space{
+		{Name: "a", Values: []int{1, 2}},
+		{Name: "b", Values: []int{10, 20, 30}},
+	}
+	if space.Size() != 6 {
+		t.Fatalf("Size = %d", space.Size())
+	}
+	seen := map[[2]int]bool{}
+	results := GridSearch(space, func(s Setting) (float64, error) {
+		seen[[2]int{s["a"], s["b"]}] = true
+		return float64(s["a"]*100 + s["b"]), nil
+	}, Options{Repeats: 1})
+	if len(results) != 6 || len(seen) != 6 {
+		t.Fatalf("visited %d, results %d", len(seen), len(results))
+	}
+	// Best first: a=2,b=30 scores 230.
+	if results[0].Setting["a"] != 2 || results[0].Setting["b"] != 30 {
+		t.Errorf("best = %v", results[0])
+	}
+	// Distinct Setting maps per result (no aliasing of the scratch map).
+	if results[0].Setting["a"] == results[len(results)-1].Setting["a"] &&
+		results[0].Setting["b"] == results[len(results)-1].Setting["b"] {
+		t.Error("settings alias each other")
+	}
+}
+
+func TestGridSearchBestOfRepeats(t *testing.T) {
+	calls := 0
+	results := GridSearch(Space{{Name: "x", Values: []int{1}}},
+		func(Setting) (float64, error) {
+			calls++
+			return float64(calls), nil // improves each repeat
+		}, Options{Repeats: 4})
+	if calls != 4 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if results[0].Gupdates != 4 {
+		t.Errorf("best-of = %v", results[0].Gupdates)
+	}
+}
+
+func TestGridSearchErrorsRankLast(t *testing.T) {
+	results := GridSearch(Space{{Name: "x", Values: []int{1, 2, 3}}},
+		func(s Setting) (float64, error) {
+			if s["x"] == 2 {
+				return 0, errors.New("boom")
+			}
+			return float64(s["x"]), nil
+		}, Options{Repeats: 1})
+	if results[len(results)-1].Err == nil {
+		t.Errorf("failed candidate not last: %v", results)
+	}
+	if results[0].Err != nil {
+		t.Errorf("best has error: %v", results[0])
+	}
+}
+
+func TestGridSearchBudget(t *testing.T) {
+	results := GridSearch(Space{{Name: "x", Values: []int{1, 2, 3, 4, 5}}},
+		func(Setting) (float64, error) {
+			time.Sleep(20 * time.Millisecond)
+			return 1, nil
+		}, Options{Repeats: 1, Budget: 30 * time.Millisecond})
+	if len(results) >= 5 {
+		t.Errorf("budget not enforced: %d candidates ran", len(results))
+	}
+	if len(results) == 0 {
+		t.Error("budget killed everything")
+	}
+}
+
+func TestSchemeSpacesAndMeasurement(t *testing.T) {
+	w := Workload{Dims: []int{34, 34, 34}, Timesteps: 4, Workers: 2}
+	for _, scheme := range []string{"nuCORALS", "nuCATS", "CATS", "PLuTo"} {
+		space, err := SpaceFor(scheme, w)
+		if err != nil || space.Size() == 0 {
+			t.Fatalf("%s space: %v", scheme, err)
+		}
+		measure, err := MeasureFor(scheme, w)
+		if err != nil {
+			t.Fatalf("%s measure: %v", scheme, err)
+		}
+		// One real measurement with the first setting of the space.
+		s := Setting{}
+		for _, p := range space {
+			s[p.Name] = p.Values[0]
+		}
+		g, err := measure(s)
+		if err != nil || g <= 0 {
+			t.Errorf("%s measurement: %v Gup/s, %v", scheme, g, err)
+		}
+	}
+	if _, err := SpaceFor("bogus", w); err == nil {
+		t.Error("unknown scheme space accepted")
+	}
+	if _, err := MeasureFor("bogus", w); err == nil {
+		t.Error("unknown scheme measure accepted")
+	}
+}

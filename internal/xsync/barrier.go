@@ -1,0 +1,55 @@
+// Package xsync provides the synchronization substrate of the paper's
+// schemes: a reusable counting barrier (the pthread_barrier analogue used
+// for nuCORALS' global synchronization between layers of space-time slices)
+// and spin-wait flag tables (nuCORALS' local synchronization on base
+// parallelograms that intersect thread-parallelogram boundaries).
+package xsync
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Barrier is a reusable counting barrier for a fixed number of parties,
+// equivalent to pthread_barrier_t. The zero value is unusable; create one
+// with NewBarrier.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+}
+
+// NewBarrier creates a barrier for n parties. n must be positive.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("xsync: barrier parties must be positive, got %d", n))
+	}
+	b := &Barrier{parties: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Parties returns the number of parties the barrier synchronizes.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Wait blocks until all parties have called Wait, then releases them all and
+// resets for the next round. It returns true for exactly one caller per
+// round (the "serial" party, analogous to PTHREAD_BARRIER_SERIAL_THREAD).
+func (b *Barrier) Wait() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return true
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return false
+}

@@ -1,0 +1,387 @@
+package nustencil
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/engine"
+	"nustencil/internal/grid"
+	"nustencil/internal/spacetime"
+	"nustencil/internal/stencil"
+	"nustencil/internal/tiling"
+	"nustencil/internal/tiling/cats"
+	"nustencil/internal/tiling/corals"
+	"nustencil/internal/tiling/diamond"
+	"nustencil/internal/tiling/naive"
+	"nustencil/internal/tiling/nucats"
+	"nustencil/internal/tiling/nucorals"
+	"nustencil/internal/tiling/trapezoid"
+	"nustencil/internal/trace"
+)
+
+// SchemeName selects a tiling scheme.
+type SchemeName string
+
+// The available schemes. NuCATS and NuCORALS are the paper's contributions;
+// the rest are the comparison schemes of its evaluation.
+const (
+	Naive    SchemeName = "NaiveSSE"
+	CATS     SchemeName = "CATS"
+	NuCATS   SchemeName = "nuCATS"
+	CORALS   SchemeName = "CORALS"
+	NuCORALS SchemeName = "nuCORALS"
+	Pochoir  SchemeName = "Pochoir"
+	PLuTo    SchemeName = "PLuTo"
+)
+
+// Schemes lists every scheme name.
+func Schemes() []SchemeName {
+	return []SchemeName{Naive, CATS, NuCATS, CORALS, NuCORALS, Pochoir, PLuTo}
+}
+
+func schemeFor(name SchemeName) (tiling.Scheme, error) {
+	switch name {
+	case Naive:
+		return naive.New(), nil
+	case CATS:
+		return cats.New(), nil
+	case NuCATS:
+		return nucats.New(), nil
+	case CORALS:
+		return corals.New(), nil
+	case NuCORALS:
+		return nucorals.New(), nil
+	case Pochoir:
+		return trapezoid.New(), nil
+	case PLuTo:
+		return diamond.New(), nil
+	default:
+		return nil, fmt.Errorf("nustencil: unknown scheme %q", name)
+	}
+}
+
+// Config describes an iterative stencil computation.
+type Config struct {
+	// Dims are the grid dimensions including the fixed boundary ring of
+	// width Order; the last dimension is unit stride. Required.
+	Dims []int
+	// Order is the stencil order s (default 1). The star stencil has
+	// 1 + 2·len(Dims)·Order points.
+	Order int
+	// Banded selects per-cell variable coefficients (a product with a
+	// sparse banded matrix). Initialize them with Solver.SetCoefficients.
+	Banded bool
+	// Coeffs are the constant stencil coefficients in stencil point order;
+	// nil uses normalized Jacobi weights. Ignored when Banded.
+	Coeffs []float64
+	// Timesteps is the number of Jacobi iterations Run performs. Required.
+	Timesteps int
+	// Scheme selects the tiling scheme (default NuCORALS).
+	Scheme SchemeName
+	// Workers is the thread count n (default runtime.NumCPU()).
+	Workers int
+	// NUMANodes sets the modeled node count for page-ownership accounting
+	// (default 1). Workers spread over nodes socket by socket.
+	NUMANodes int
+	// LLCBytesPerWorker is the cache-size hint for the cache-aware schemes
+	// (default 1 MiB).
+	LLCBytesPerWorker int64
+	// PinThreads best-effort pins worker OS threads to CPUs (Linux).
+	PinThreads bool
+	// Periodic selects wrapped (torus) boundaries instead of the default
+	// fixed Dirichlet ring: every cell updates and neighbour reads wrap
+	// across the seams. Only the Naive scheme supports periodic problems
+	// (the temporal blocking geometry assumes a flat space); with Periodic
+	// set and no explicit Scheme, Naive is the default.
+	Periodic bool
+	// StaticSchedule executes with the paper's literal synchronization
+	// structure — per-worker static tile lists and spin-wait completion
+	// flags (Section III-B) — instead of the dependency-driven scheduler.
+	// Requires a scheme whose tiles all have owners (not CORALS/Pochoir).
+	StaticSchedule bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Order == 0 {
+		c.Order = 1
+	}
+	if c.Scheme == "" {
+		if c.Periodic {
+			c.Scheme = Naive
+		} else {
+			c.Scheme = NuCORALS
+		}
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.NUMANodes == 0 {
+		c.NUMANodes = 1
+	}
+	if c.LLCBytesPerWorker == 0 {
+		c.LLCBytesPerWorker = 1 << 20
+	}
+	return c
+}
+
+// Report summarizes one Run.
+type Report struct {
+	Scheme    SchemeName
+	Workers   int
+	Timesteps int
+	// Updates is the number of stencil point updates performed.
+	Updates int64
+	// Seconds is the wall-clock execution time of the tiled computation.
+	Seconds float64
+	// Tiles is the number of space-time tiles executed.
+	Tiles int
+	// UpdatesPerWorker attributes the updates to workers.
+	UpdatesPerWorker []int64
+	// Imbalance is max/mean of per-worker busy time (1.0 = perfectly
+	// balanced, 0 if nothing ran).
+	Imbalance float64
+	// FlopsPerUpdate converts updates to flops.
+	FlopsPerUpdate int
+}
+
+// Gupdates returns giga-updates per second.
+func (r Report) Gupdates() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Updates) / r.Seconds / 1e9
+}
+
+// GFLOPS returns the achieved GFLOPS.
+func (r Report) GFLOPS() float64 { return r.Gupdates() * float64(r.FlopsPerUpdate) }
+
+// Solver executes iterative stencil computations on one grid.
+type Solver struct {
+	cfg    Config
+	g      *grid.Grid
+	st     *stencil.Stencil
+	coeffs *stencil.Coefficients
+	source []float64
+	scheme tiling.Scheme
+	steps  int // timesteps already run, for buffer parity
+}
+
+// NewSolver validates the configuration and allocates the grid (both
+// buffers zeroed, all pages untouched).
+func NewSolver(cfg Config) (*Solver, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Dims) == 0 {
+		return nil, errors.New("nustencil: Config.Dims is required")
+	}
+	if cfg.Timesteps < 0 {
+		return nil, errors.New("nustencil: negative timesteps")
+	}
+	if cfg.Workers < 1 {
+		return nil, errors.New("nustencil: workers must be positive")
+	}
+	for _, d := range cfg.Dims {
+		if d < 2*cfg.Order+1 {
+			return nil, fmt.Errorf("nustencil: dimension %d too small for order %d", d, cfg.Order)
+		}
+	}
+	if cfg.Periodic && cfg.Scheme != Naive {
+		return nil, fmt.Errorf("nustencil: periodic boundaries require the Naive scheme, got %s", cfg.Scheme)
+	}
+	sch, err := schemeFor(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{cfg: cfg, g: grid.New(cfg.Dims), scheme: sch}
+	if cfg.Banded {
+		s.st = stencil.NewBandedStar(len(cfg.Dims), cfg.Order)
+		s.coeffs = stencil.NewCoefficients(s.st, s.g)
+	} else if cfg.Coeffs != nil {
+		s.st = stencil.NewStarWithCoeffs(len(cfg.Dims), cfg.Order, cfg.Coeffs)
+	} else {
+		s.st = stencil.NewStar(len(cfg.Dims), cfg.Order)
+	}
+	return s, nil
+}
+
+// SetInitial initializes every cell (and the fixed boundary) from f.
+func (s *Solver) SetInitial(f func(pt []int) float64) { s.g.FillFunc(f) }
+
+// SetCoefficients initializes the per-cell coefficients of a banded solver:
+// f(point, pt) returns the coefficient of stencil point index point (0 is
+// the centre) at cell pt.
+func (s *Solver) SetCoefficients(f func(point int, pt []int) float64) error {
+	if s.coeffs == nil {
+		return errors.New("nustencil: SetCoefficients requires Config.Banded")
+	}
+	buf := make([]int, len(s.cfg.Dims))
+	s.coeffs.FillFunc(func(p, idx int) float64 {
+		return f(p, s.g.Coords(idx, buf))
+	})
+	return nil
+}
+
+// SetSource attaches a per-cell additive term g(pt) to every update:
+// X' = stencil(X) + g. With weighted-Jacobi coefficients this solves the
+// inhomogeneous system A·u = f (set g = ω·D⁻¹·f), which is what multigrid
+// correction equations and source-driven diffusion need. A nil f removes
+// the term.
+func (s *Solver) SetSource(f func(pt []int) float64) {
+	if f == nil {
+		s.source = nil
+		return
+	}
+	if s.source == nil {
+		s.source = make([]float64, s.g.Len())
+	}
+	buf := make([]int, len(s.cfg.Dims))
+	for i := range s.source {
+		s.source[i] = f(s.g.Coords(i, buf))
+	}
+}
+
+// Value returns the current value at pt (after any completed Run calls).
+func (s *Solver) Value(pt []int) float64 { return s.g.At(s.steps, pt) }
+
+// Len returns the number of grid cells (one buffer).
+func (s *Solver) Len() int { return s.g.Len() }
+
+// Export copies the current state into dst in flat row-major order (the
+// last dimension unit-stride) and returns it; a nil or short dst is
+// reallocated. Export and Import let applications build transfer operators
+// — restriction and prolongation for a multigrid smoother, checkpointing —
+// without going through per-point Value calls.
+func (s *Solver) Export(dst []float64) []float64 {
+	if len(dst) < s.g.Len() {
+		dst = make([]float64, s.g.Len())
+	}
+	copy(dst, s.g.Buf(s.steps))
+	return dst[:s.g.Len()]
+}
+
+// Import replaces the current state (both buffers, so the fixed boundary is
+// consistent for the next Run) with src, which must hold exactly Len flat
+// row-major values.
+func (s *Solver) Import(src []float64) error {
+	if len(src) != s.g.Len() {
+		return fmt.Errorf("nustencil: Import needs %d values, got %d", s.g.Len(), len(src))
+	}
+	copy(s.g.Buf(0), src)
+	copy(s.g.Buf(1), src)
+	return nil
+}
+
+// NumPoints returns the stencil size (e.g. 7 for the 3D first-order star).
+func (s *Solver) NumPoints() int { return s.st.NumPoints() }
+
+// StencilDescription names the configured stencil.
+func (s *Solver) StencilDescription() string { return s.st.String() }
+
+// Run advances the grid by Config.Timesteps iterations using the configured
+// scheme and returns the execution report. Run may be called repeatedly;
+// each call continues from the current state.
+func (s *Solver) Run() (Report, error) {
+	return s.RunSteps(s.cfg.Timesteps)
+}
+
+// RunSteps advances the grid by an explicit number of timesteps.
+func (s *Solver) RunSteps(timesteps int) (Report, error) {
+	rep, _, err := s.runSteps(timesteps, false, 0)
+	return rep, err
+}
+
+// RunStepsTraced is RunSteps plus a rendered execution timeline (a text
+// Gantt chart of tile executions per worker, width columns wide) and
+// per-worker utilization — the observability view of how a scheme
+// schedules.
+func (s *Solver) RunStepsTraced(timesteps, width int) (Report, string, error) {
+	return s.runSteps(timesteps, true, width)
+}
+
+func (s *Solver) runSteps(timesteps int, traced bool, width int) (Report, string, error) {
+	cfg := s.cfg
+	rep := Report{
+		Scheme:         cfg.Scheme,
+		Workers:        cfg.Workers,
+		Timesteps:      timesteps,
+		FlopsPerUpdate: s.st.FlopsPerUpdate(),
+	}
+	if timesteps == 0 {
+		rep.UpdatesPerWorker = make([]int64, cfg.Workers)
+		return rep, "", nil
+	}
+	p := &tiling.Problem{
+		Grid:              s.g,
+		Stencil:           s.st,
+		Timesteps:         timesteps,
+		Workers:           cfg.Workers,
+		Topo:              affinity.Fixed{Cores: cfg.Workers, Nodes: cfg.NUMANodes},
+		LLCBytesPerWorker: cfg.LLCBytesPerWorker,
+		Periodic:          cfg.Periodic,
+	}
+	s.scheme.Distribute(p)
+	tiles, err := s.scheme.Tiles(p)
+	if err != nil {
+		return rep, "", err
+	}
+
+	var op *stencil.Op
+	if s.coeffs != nil {
+		op = stencil.NewBandedOp(s.st, s.g, s.coeffs)
+	} else {
+		op = stencil.NewOp(s.st, s.g)
+	}
+	op.SetSource(s.source)
+	op.SetPeriodic(cfg.Periodic)
+	var wrap []int
+	if cfg.Periodic {
+		wrap = s.g.Dims()
+	}
+	base := s.steps
+	exec := func(w int, tile *spacetime.Tile) int64 {
+		var n int64
+		for _, sb := range tiling.TraverseOrDefault(s.scheme, tile, cfg.Order) {
+			n += op.ApplyBox(sb.Box, base+sb.T)
+		}
+		return n
+	}
+	var tr *trace.Trace
+	if traced {
+		tr = trace.New()
+		inner := exec
+		exec = func(w int, tile *spacetime.Tile) int64 {
+			t0 := time.Now()
+			n := inner(w, tile)
+			tr.Record(w, tile.ID, tile.T0, tile.T1(), n, t0, time.Now())
+			return n
+		}
+	}
+	start := time.Now()
+	run := engine.Run
+	if cfg.StaticSchedule {
+		run = engine.RunStatic
+	}
+	stats, err := run(tiles, engine.Config{
+		Workers: cfg.Workers,
+		Order:   cfg.Order,
+		Wrap:    wrap,
+		Pin:     cfg.PinThreads,
+		Exec:    exec,
+	})
+	rep.Seconds = time.Since(start).Seconds()
+	if err != nil {
+		return rep, "", err
+	}
+	s.steps += timesteps
+	rep.Updates = stats.TotalUpdates
+	rep.Tiles = len(tiles)
+	rep.UpdatesPerWorker = stats.UpdatesPerWorker
+	rep.Imbalance = stats.Imbalance()
+	timeline := ""
+	if traced {
+		timeline = tr.Timeline(cfg.Workers, width)
+	}
+	return rep, timeline, nil
+}

@@ -1,0 +1,187 @@
+package nustencil
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nustencil/internal/experiments"
+	"nustencil/internal/machine"
+	"nustencil/internal/memsim"
+	"nustencil/internal/report"
+	"nustencil/internal/stencil"
+)
+
+// MachineName selects one of the modeled ccNUMA testbeds.
+type MachineName string
+
+// The paper's two testbeds (Table I), plus the measured local host.
+const (
+	Opteron8222 MachineName = "opteron8222"
+	XeonX7550   MachineName = "xeonx7550"
+	// Host measures this machine on first use (STREAM COPY sweep, cache
+	// discovery, multiply-add peak — the paper's Table I methodology) and
+	// models it for the cost model.
+	Host MachineName = "host"
+)
+
+var (
+	hostOnce sync.Once
+	hostMach *machine.Machine
+	hostErr  error
+)
+
+func machineFor(name MachineName) (*machine.Machine, error) {
+	switch name {
+	case Opteron8222:
+		return machine.Opteron8222(), nil
+	case XeonX7550:
+		return machine.XeonX7550(), nil
+	case Host:
+		hostOnce.Do(func() {
+			hostMach, hostErr = machine.FromHost(machine.HostOptions{})
+		})
+		return hostMach, hostErr
+	default:
+		return nil, fmt.Errorf("nustencil: unknown machine %q", name)
+	}
+}
+
+// MachineDescription returns a human-readable summary of a modeled machine.
+func MachineDescription(name MachineName) (string, error) {
+	m, err := machineFor(name)
+	if err != nil {
+		return "", err
+	}
+	return m.String(), nil
+}
+
+// SimConfig describes a simulated experiment on a modeled machine.
+type SimConfig struct {
+	Machine MachineName
+	Scheme  SchemeName
+	// Dims are full grid dimensions (boundary included); must be 3D for
+	// the modeled workloads.
+	Dims      []int
+	Order     int // default 1
+	Banded    bool
+	Timesteps int // default 100
+	Cores     int // default all cores of the machine
+}
+
+// SimResult is a cost-model prediction.
+type SimResult struct {
+	Scheme  SchemeName
+	Machine string
+	Cores   int
+	Updates int64
+	Seconds float64
+	// GupdatesPerCore is the figures' left y-axis value.
+	GupdatesPerCore float64
+	// GFLOPS is the aggregate achieved GFLOPS (the caption numbers).
+	GFLOPS float64
+	// Bottleneck names the limiting resource: "compute", "llc", "memory",
+	// "controller" or "interconnect".
+	Bottleneck string
+	// MainWordsPerUpdate and LocalFraction expose the traffic attribution.
+	MainWordsPerUpdate float64
+	LocalFraction      float64
+}
+
+// Simulate predicts a scheme's performance on a modeled machine.
+func Simulate(cfg SimConfig) (SimResult, error) {
+	m, err := machineFor(cfg.Machine)
+	if err != nil {
+		return SimResult{}, err
+	}
+	mod, ok := memsim.Models()[string(cfg.Scheme)]
+	if !ok {
+		return SimResult{}, fmt.Errorf("nustencil: no cost model for scheme %q", cfg.Scheme)
+	}
+	if len(cfg.Dims) != 3 {
+		return SimResult{}, fmt.Errorf("nustencil: simulated workloads are 3D, got %dD", len(cfg.Dims))
+	}
+	order := cfg.Order
+	if order == 0 {
+		order = 1
+	}
+	steps := cfg.Timesteps
+	if steps == 0 {
+		steps = 100
+	}
+	cores := cfg.Cores
+	if cores == 0 {
+		cores = m.NumCores()
+	}
+	if cores < 1 || cores > m.NumCores() {
+		return SimResult{}, fmt.Errorf("nustencil: %d cores out of range for %s", cores, m.Name)
+	}
+	var st *stencil.Stencil
+	if cfg.Banded {
+		st = stencil.NewBandedStar(3, order)
+	} else {
+		st = stencil.NewStar(3, order)
+	}
+	w := &memsim.Workload{Machine: m, Stencil: st, Dims: cfg.Dims, Timesteps: steps, Cores: cores}
+	r := memsim.Predict(mod, w)
+	return SimResult{
+		Scheme:             cfg.Scheme,
+		Machine:            m.Name,
+		Cores:              cores,
+		Updates:            r.Updates,
+		Seconds:            r.Seconds,
+		GupdatesPerCore:    r.GupdatesPerCore(),
+		GFLOPS:             r.GFLOPS(),
+		Bottleneck:         r.Traffic.Bottleneck,
+		MainWordsPerUpdate: r.Traffic.MainWords,
+		LocalFraction:      r.Traffic.LocalFrac,
+	}, nil
+}
+
+// FigureIDs lists the reproducible paper figures ("fig04".."fig22"; see
+// also "fig03" via RenderFigure and "table1" via RenderTableI).
+func FigureIDs() []string {
+	ids := experiments.IDs()
+	out := append([]string{"fig03"}, ids...)
+	sort.Strings(out)
+	return out
+}
+
+// RenderFigure regenerates one paper figure as a text table. Accepted ids:
+// "fig03".."fig22".
+func RenderFigure(id string) (string, error) {
+	if id == "fig03" {
+		return report.Fig3(experiments.Fig3()), nil
+	}
+	f, ok := experiments.All()[id]
+	if !ok {
+		return "", fmt.Errorf("nustencil: unknown figure %q (want fig03..fig22)", id)
+	}
+	return report.Figure(f.Run()), nil
+}
+
+// RenderFigureCSV regenerates one figure as CSV (cores, then one column
+// per line, per-core Gupdates/s) for external plotting. Accepted ids:
+// "fig04".."fig22".
+func RenderFigureCSV(id string) (string, error) {
+	f, ok := experiments.All()[id]
+	if !ok {
+		return "", fmt.Errorf("nustencil: unknown figure %q (want fig04..fig22)", id)
+	}
+	return report.FigureCSV(f.Run()), nil
+}
+
+// RenderAttribution regenerates one figure's bottleneck attribution: the
+// resource (memory, controller, interconnect, llc, compute) limiting each
+// scheme at each core count. Accepted ids: "fig04".."fig22".
+func RenderAttribution(id string) (string, error) {
+	f, ok := experiments.All()[id]
+	if !ok {
+		return "", fmt.Errorf("nustencil: unknown figure %q (want fig04..fig22)", id)
+	}
+	return report.Attribution(f.Run()), nil
+}
+
+// RenderTableI renders the hardware-configuration table of the machine
+// models.
+func RenderTableI() string { return report.TableI() }

@@ -1,0 +1,47 @@
+package nustencil
+
+import (
+	"testing"
+)
+
+// The static spin-flag schedule produces the same results as the
+// dependency-driven scheduler through the public API.
+func TestStaticScheduleAgrees(t *testing.T) {
+	probe := []int{6, 6, 6}
+	run := func(static bool, scheme SchemeName) float64 {
+		s, err := NewSolver(Config{
+			Dims: []int{13, 13, 13}, Timesteps: 6, Scheme: scheme,
+			Workers: 3, StaticSchedule: static,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetInitial(func(pt []int) float64 { return float64(pt[0]*2 - pt[1] + pt[2]%3) })
+		if _, err := s.Run(); err != nil {
+			t.Fatalf("static=%v %s: %v", static, scheme, err)
+		}
+		return s.Value(probe)
+	}
+	for _, scheme := range []SchemeName{Naive, NuCATS, NuCORALS, CATS, PLuTo} {
+		a, b := run(false, scheme), run(true, scheme)
+		if a != b {
+			t.Errorf("%s: static %v != scheduled %v", scheme, b, a)
+		}
+	}
+}
+
+// Shared-queue schemes cannot run statically and must say so.
+func TestStaticScheduleRejectsSharedQueueSchemes(t *testing.T) {
+	for _, scheme := range []SchemeName{CORALS, Pochoir} {
+		s, err := NewSolver(Config{
+			Dims: []int{10, 10, 10}, Timesteps: 2, Scheme: scheme,
+			Workers: 2, StaticSchedule: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err == nil {
+			t.Errorf("%s accepted a static schedule despite unowned tiles", scheme)
+		}
+	}
+}
