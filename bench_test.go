@@ -326,3 +326,43 @@ func BenchmarkScheduler(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEngineOverhead measures pure scheduler cost: a 16k-tile nuCORALS
+// tiling executed with a no-op Exec, so all time is queue traffic,
+// dependency resolution and worker wakeups. Deps are prebuilt, as the
+// solver's plan cache does after its first RunSteps call.
+func BenchmarkEngineOverhead(b *testing.B) {
+	g := grid.New([]int{514, 66, 66})
+	p := &tiling.Problem{
+		Grid:              g,
+		Stencil:           stencil.NewStar(3, 1),
+		Timesteps:         256,
+		Workers:           64,
+		Topo:              affinity.Fixed{Cores: 64, Nodes: 4},
+		LLCBytesPerWorker: 1 << 16,
+	}
+	sch := nucorals.New()
+	sch.Distribute(p)
+	tiles, err := sch.Tiles(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spacetime.AssignIDs(tiles)
+	deps := engine.BuildDeps(tiles, 1, nil)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := engine.Run(tiles, engine.Config{
+					Workers: workers,
+					Deps:    deps,
+					Exec:    func(int, *spacetime.Tile) int64 { return 1 },
+				})
+				if err != nil || stats.TotalUpdates != int64(len(tiles)) {
+					b.Fatalf("run: %v updates=%d", err, stats.TotalUpdates)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tiles)), "ns/tile")
+		})
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nustencil/internal/affinity"
 	"nustencil/internal/spacetime"
+	"nustencil/internal/xsync"
 )
 
 // ErrCycle is returned when the tile dependency graph is not a DAG — the
@@ -31,6 +33,12 @@ type Config struct {
 	// Wrap, when non-nil, gives the per-dimension domain extents of a
 	// periodic torus: dependencies wrap across the seams.
 	Wrap []int
+	// Deps, when non-nil, is the precomputed dependency graph for the tiles
+	// (as returned by BuildDeps after spacetime.AssignIDs): Deps[i] lists the
+	// tile indices tile i flow-depends on. Callers that execute the same
+	// tiling repeatedly can derive it once and skip the per-Run derivation;
+	// when nil, Run derives it from Order and Wrap.
+	Deps [][]int
 	// Pin locks each worker goroutine to an OS thread and best-effort pins
 	// it to CPU w (Linux). Purely an optimization for real runs.
 	Pin bool
@@ -66,23 +74,30 @@ func (s *Stats) Imbalance() float64 {
 	return float64(maxB) / mean
 }
 
+// parkSpin is how many yield rounds a worker spins before parking. Small, so
+// oversubscribed hosts (more workers than cores) hand the core over quickly;
+// nonzero, so a worker whose next tile is one completion away avoids the
+// park/unpark round trip.
+const parkSpin = 8
+
+// runState is the scheduler state shared by the workers of one Run. There is
+// no global lock: dependency resolution is a fetch-add per edge, ready tiles
+// move through lock-free bounded queues, and idle workers park on their own
+// Parker and are woken individually — completing an owned tile wakes at most
+// its owner instead of broadcasting to every worker.
 type runState struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-
 	tiles      []*spacetime.Tile
-	nDeps      []int
-	dependents [][]int
+	nDeps      []atomic.Int32
+	dependents [][]int32
 
-	ownQ       [][]int // per-worker FIFO of ready tiles it owns
-	sharedQ    []int   // ready tiles with no owner
-	ownHead    []int
-	sharedHead int
+	ownQ    []tileQueue // per-worker FIFO of ready tiles it owns
+	sharedQ tileQueue   // ready tiles with no owner, drained by anyone
+	parkers []xsync.Parker
 
-	executed int
-	blocked  int
-	failed   bool
-	done     bool
+	remaining atomic.Int32 // tiles not yet executed
+	idle      atomic.Int32 // workers currently out of work
+	done      atomic.Bool
+	failed    atomic.Bool
 }
 
 // Run executes the tiling on cfg.Workers workers, respecting the flow
@@ -97,43 +112,59 @@ func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("engine: workers must be positive, got %d", cfg.Workers)
 	}
-	if len(tiles) == 0 {
-		return &Stats{
-			Workers:          cfg.Workers,
-			UpdatesPerWorker: make([]int64, cfg.Workers),
-			TilesPerWorker:   make([]int64, cfg.Workers),
-			BusyPerWorker:    make([]time.Duration, cfg.Workers),
-		}, nil
-	}
-	spacetime.AssignIDs(tiles)
-	deps := BuildDeps(tiles, cfg.Order, cfg.Wrap)
-
-	st := &runState{
-		tiles:      tiles,
-		nDeps:      make([]int, len(tiles)),
-		dependents: make([][]int, len(tiles)),
-		ownQ:       make([][]int, cfg.Workers),
-		ownHead:    make([]int, cfg.Workers),
-	}
-	st.cond = sync.NewCond(&st.mu)
-	for i, d := range deps {
-		st.nDeps[i] = len(d)
-		for _, j := range d {
-			st.dependents[j] = append(st.dependents[j], i)
-		}
-	}
-	for i := range tiles {
-		if st.nDeps[i] == 0 {
-			st.push(i, cfg.Workers)
-		}
-	}
-
 	stats := &Stats{
 		Workers:          cfg.Workers,
 		UpdatesPerWorker: make([]int64, cfg.Workers),
 		TilesPerWorker:   make([]int64, cfg.Workers),
 		BusyPerWorker:    make([]time.Duration, cfg.Workers),
 	}
+	if len(tiles) == 0 {
+		return stats, nil
+	}
+	spacetime.AssignIDs(tiles)
+	deps := cfg.Deps
+	if deps == nil {
+		deps = BuildDeps(tiles, cfg.Order, cfg.Wrap)
+	}
+
+	st := &runState{
+		tiles:      tiles,
+		nDeps:      make([]atomic.Int32, len(tiles)),
+		dependents: make([][]int32, len(tiles)),
+		ownQ:       make([]tileQueue, cfg.Workers),
+		parkers:    make([]xsync.Parker, cfg.Workers),
+	}
+	st.remaining.Store(int32(len(tiles)))
+
+	// Size each bounded queue by the tiles that can ever be routed to it.
+	ownCount := make([]int, cfg.Workers)
+	sharedCount := 0
+	for _, t := range tiles {
+		if t.Owner < 0 {
+			sharedCount++
+		} else {
+			ownCount[t.Owner%cfg.Workers]++
+		}
+	}
+	for w := range st.ownQ {
+		st.ownQ[w] = newTileQueue(ownCount[w])
+	}
+	st.sharedQ = newTileQueue(sharedCount)
+
+	for i, d := range deps {
+		st.nDeps[i].Store(int32(len(d)))
+		for _, j := range d {
+			st.dependents[j] = append(st.dependents[j], int32(i))
+		}
+	}
+	// Seed the initially-ready tiles in the tiler's emission order (workers
+	// have not started; plain pushes publish before the goroutines exist).
+	for i := range tiles {
+		if st.nDeps[i].Load() == 0 {
+			st.route(i, cfg.Workers)
+		}
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -148,7 +179,7 @@ func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 		}(w)
 	}
 	wg.Wait()
-	if st.failed {
+	if st.failed.Load() {
 		return nil, ErrCycle
 	}
 	for _, u := range stats.UpdatesPerWorker {
@@ -157,78 +188,87 @@ func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 	return stats, nil
 }
 
-// push marks tile i ready. Caller holds st.mu (or is in single-threaded
-// setup before workers start).
-func (st *runState) push(i, workers int) {
-	o := st.tiles[i].Owner
-	if o < 0 {
-		st.sharedQ = append(st.sharedQ, i)
+// route enqueues ready tile i without waking anyone (setup phase).
+func (st *runState) route(i, workers int) {
+	if o := st.tiles[i].Owner; o < 0 {
+		st.sharedQ.push(i)
 	} else {
-		st.ownQ[o%workers] = append(st.ownQ[o%workers], i)
+		st.ownQ[o%workers].push(i)
 	}
 }
 
-// pop returns the next tile for worker w: its own queue first (preserving
-// the tiler's emission order), then the shared queue. Returns -1 if nothing
-// is ready for w. Caller holds st.mu.
-func (st *runState) pop(w int) int {
-	if st.ownHead[w] < len(st.ownQ[w]) {
-		i := st.ownQ[w][st.ownHead[w]]
-		st.ownHead[w]++
-		return i
+// publish enqueues ready tile i and wakes the workers that may execute it:
+// the single owner for owned tiles, everyone for shared tiles (any worker
+// may drain the shared queue, and a worker between its last empty poll and
+// its park is only caught by arming its own Parker).
+func (st *runState) publish(i, workers int) {
+	if o := st.tiles[i].Owner; o < 0 {
+		st.sharedQ.push(i)
+		st.unparkAll()
+	} else {
+		w := o % workers
+		st.ownQ[w].push(i)
+		st.parkers[w].Unpark()
 	}
-	if st.sharedHead < len(st.sharedQ) {
-		i := st.sharedQ[st.sharedHead]
-		st.sharedHead++
-		return i
-	}
-	return -1
 }
 
-// anyReady reports whether any queue holds an undrained tile. Caller holds
-// st.mu. Used to distinguish "another worker has pending work it has not yet
-// woken up for" from a true dependency cycle.
+func (st *runState) unparkAll() {
+	for w := range st.parkers {
+		st.parkers[w].Unpark()
+	}
+}
+
+// anyReady reports whether any queue holds an undrained tile. Used by the
+// idle-worker consensus to distinguish "a worker has pending work it has not
+// yet woken up for" from a true dependency cycle.
 func (st *runState) anyReady() bool {
-	if st.sharedHead < len(st.sharedQ) {
+	if st.sharedQ.hasReady() {
 		return true
 	}
 	for w := range st.ownQ {
-		if st.ownHead[w] < len(st.ownQ[w]) {
+		if st.ownQ[w].hasReady() {
 			return true
 		}
 	}
 	return false
 }
 
+// next returns the next tile for worker w: its own queue first (preserving
+// the order tiles became ready for it), then the shared queue. Returns -1 if
+// nothing is ready for w right now.
+func (st *runState) next(w int) int {
+	if i := st.ownQ[w].pop(); i >= 0 {
+		return i
+	}
+	return st.sharedQ.pop()
+}
+
 func (st *runState) worker(w int, cfg Config, stats *Stats) {
 	for {
-		st.mu.Lock()
-		var i int
-		for {
-			if st.done || st.failed {
-				st.mu.Unlock()
-				return
-			}
-			i = st.pop(w)
-			if i >= 0 {
-				break
-			}
-			st.blocked++
-			if st.blocked == cfg.Workers && !st.anyReady() {
-				// Every worker idle, nothing ready, work remaining: the
-				// graph has a cycle. (If another worker's own queue still
-				// holds a tile, that worker has a pending wakeup from the
-				// push's broadcast, so this is not a deadlock.)
-				st.failed = true
-				st.blocked--
-				st.cond.Broadcast()
-				st.mu.Unlock()
-				return
-			}
-			st.cond.Wait()
-			st.blocked--
+		if st.done.Load() || st.failed.Load() {
+			return
 		}
-		st.mu.Unlock()
+		i := st.next(w)
+		if i < 0 {
+			// Out of work: register idle, then decide between parking and
+			// declaring a cycle. Completers push (and arm Parkers) before
+			// decrementing remaining, and idle counts no executing worker,
+			// so when idle == Workers every completed tile's pushes are
+			// visible: empty queues plus remaining tiles mean no tile can
+			// ever become ready again — a true cycle, reported soundly.
+			n := st.idle.Add(1)
+			if n == int32(cfg.Workers) && st.remaining.Load() > 0 && !st.anyReady() {
+				if !st.done.Load() && !st.failed.Load() {
+					st.failed.Store(true)
+					st.unparkAll()
+				}
+				st.idle.Add(-1)
+				continue
+			}
+			st.parkers[w].Park(parkSpin)
+			st.idle.Add(-1)
+			continue
+		}
 
 		t0 := time.Now()
 		n := cfg.Exec(w, st.tiles[i])
@@ -236,22 +276,17 @@ func (st *runState) worker(w int, cfg Config, stats *Stats) {
 		stats.UpdatesPerWorker[w] += n
 		stats.TilesPerWorker[w]++
 
-		st.mu.Lock()
-		st.executed++
-		woke := false
+		// Resolve dependents: the last completed input pushes the tile, so
+		// each tile is published exactly once.
 		for _, d := range st.dependents[i] {
-			st.nDeps[d]--
-			if st.nDeps[d] == 0 {
-				st.push(d, cfg.Workers)
-				woke = true
+			if st.nDeps[d].Add(-1) == 0 {
+				st.publish(int(d), cfg.Workers)
 			}
 		}
-		if st.executed == len(st.tiles) {
-			st.done = true
-			st.cond.Broadcast()
-		} else if woke {
-			st.cond.Broadcast()
+		if st.remaining.Add(-1) == 0 {
+			st.done.Store(true)
+			st.unparkAll()
+			return
 		}
-		st.mu.Unlock()
 	}
 }

@@ -58,7 +58,10 @@ func RunStatic(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 		}
 	}
 	spacetime.AssignIDs(tiles)
-	deps := BuildDeps(tiles, cfg.Order, cfg.Wrap)
+	deps := cfg.Deps
+	if deps == nil {
+		deps = BuildDeps(tiles, cfg.Order, cfg.Wrap)
+	}
 
 	flags := xsync.NewFlagTable(len(tiles))
 	lists := make([][]int, cfg.Workers)

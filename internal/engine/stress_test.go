@@ -98,3 +98,105 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// randomDAG builds n trivial tiles with random owners (shared with
+// probability 1/4) and a random acyclic dependency graph (edges only from
+// higher to lower indices), exercising the scheduler independently of tiling
+// geometry via Config.Deps.
+func randomDAG(r *rand.Rand, n, workers int) ([]*spacetime.Tile, [][]int) {
+	interior := grid.NewBox([]int{0}, []int{n})
+	tiles := make([]*spacetime.Tile, n)
+	for i := range tiles {
+		b := grid.NewBox([]int{i}, []int{i + 1})
+		tiles[i] = spacetime.NewTileFromBox(b, 0, 1, interior)
+		if r.Intn(4) == 0 {
+			tiles[i].Owner = -1
+		} else {
+			tiles[i].Owner = r.Intn(workers)
+		}
+	}
+	deps := make([][]int, n)
+	for i := 1; i < n; i++ {
+		for _, j := range r.Perm(i)[:r.Intn(min(i, 4)+1)] {
+			deps[i] = append(deps[i], j)
+		}
+	}
+	return tiles, deps
+}
+
+// Scheduler stress decoupled from geometry: random DAGs injected through
+// Config.Deps, 1–16 workers, owned and shared tiles mixed. Every tile must
+// run exactly once, after all of its dependencies.
+func TestRunRandomDAGs(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + r.Intn(180)
+		workers := 1 + r.Intn(16)
+		tiles, deps := randomDAG(r, n, workers)
+
+		var mu sync.Mutex
+		step := 0
+		doneAt := make([]int, n)
+		runs := make([]int, n)
+		_, err := Run(tiles, Config{
+			Workers: workers,
+			Deps:    deps,
+			Exec: func(w int, tile *spacetime.Tile) int64 {
+				mu.Lock()
+				step++
+				doneAt[tile.ID] = step
+				runs[tile.ID]++
+				mu.Unlock()
+				return 1
+			},
+		})
+		if err != nil {
+			t.Fatalf("trial %d (n=%d workers=%d): %v", trial, n, workers, err)
+		}
+		for i := range runs {
+			if runs[i] != 1 {
+				t.Fatalf("trial %d: tile %d ran %d times", trial, i, runs[i])
+			}
+			for _, j := range deps[i] {
+				if doneAt[i] < doneAt[j] {
+					t.Fatalf("trial %d: tile %d finished before dependency %d", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// Forced cycle injection: a random DAG plus one back edge must be reported
+// as ErrCycle — never a hang — and no tile on the cycle may execute.
+func TestRunDetectsInjectedCycle(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + r.Intn(100)
+		workers := 1 + r.Intn(16)
+		tiles, deps := randomDAG(r, n, workers)
+		// Close a cycle a -> b -> a between two random tiles.
+		a := r.Intn(n - 1)
+		b := a + 1 + r.Intn(n-a-1)
+		deps[b] = append(deps[b], a)
+		deps[a] = append(deps[a], b)
+
+		var mu sync.Mutex
+		ran := make([]bool, n)
+		_, err := Run(tiles, Config{
+			Workers: workers,
+			Deps:    deps,
+			Exec: func(w int, tile *spacetime.Tile) int64 {
+				mu.Lock()
+				ran[tile.ID] = true
+				mu.Unlock()
+				return 1
+			},
+		})
+		if err != ErrCycle {
+			t.Fatalf("trial %d (n=%d workers=%d): err = %v, want ErrCycle", trial, n, workers, err)
+		}
+		if ran[a] || ran[b] {
+			t.Fatalf("trial %d: cycle tile executed (a=%v b=%v)", trial, ran[a], ran[b])
+		}
+	}
+}

@@ -13,6 +13,12 @@ import (
 //
 // An Op is safe for concurrent ApplyBox calls on disjoint boxes: it keeps no
 // mutable state beyond the grid buffers.
+//
+// The kernels are written for the memory-bound regime the paper measures:
+// rows are walked with grid.RowIter (no per-row closure dispatch, no
+// allocation), neighbour accesses go through pre-sliced rows so the compiler
+// can eliminate bounds checks, and the optional source term is fused into
+// the update loops instead of a second traversal of dst.
 type Op struct {
 	St *Stencil
 	G  *grid.Grid
@@ -21,6 +27,11 @@ type Op struct {
 	coeffs []float64
 	vc     *Coefficients
 	source []float64 // optional per-cell additive term
+
+	update  grid.Box // cached UpdateRegion, so kernels clip without allocating
+	dims    []int    // cached grid dimensions
+	is7pt   bool     // 3D first-order star with constant coefficients
+	banded7 bool     // 3D first-order star with variable coefficients
 
 	periodic bool
 	points   [][]int // coordinate offsets, for the wrapped path
@@ -35,6 +46,11 @@ func (op *Op) SetPeriodic(periodic bool) {
 	op.periodic = periodic
 	if periodic && op.points == nil {
 		op.points = op.St.Points()
+	}
+	if periodic {
+		op.update = op.G.Bounds()
+	} else {
+		op.update = op.G.Interior(op.St.Order)
 	}
 }
 
@@ -71,7 +87,9 @@ func NewOp(s *Stencil, g *grid.Grid) *Op {
 	if s.NumDims != g.NumDims() {
 		panic(fmt.Sprintf("stencil: %dD stencil on %dD grid", s.NumDims, g.NumDims()))
 	}
-	return &Op{St: s, G: g, offs: flatOffsets(s, g), coeffs: s.Coeffs}
+	op := &Op{St: s, G: g, offs: flatOffsets(s, g), coeffs: s.Coeffs}
+	op.finish()
+	return op
 }
 
 // NewBandedOp builds the kernel for a variable-coefficient stencil on g with
@@ -86,7 +104,19 @@ func NewBandedOp(s *Stencil, g *grid.Grid, c *Coefficients) *Op {
 	if c == nil || c.NumPoints() != s.NumPoints() {
 		panic("stencil: coefficients do not match stencil")
 	}
-	return &Op{St: s, G: g, offs: flatOffsets(s, g), vc: c}
+	op := &Op{St: s, G: g, offs: flatOffsets(s, g), vc: c}
+	op.finish()
+	return op
+}
+
+// finish caches the per-Op invariants the hot kernels rely on.
+func (op *Op) finish() {
+	op.update = op.G.Interior(op.St.Order)
+	op.dims = op.G.Dims()
+	star7 := len(op.offs) == 7 && op.G.NumDims() == 3 &&
+		op.offs[5] == -1 && op.offs[6] == 1
+	op.is7pt = star7 && op.vc == nil
+	op.banded7 = star7 && op.vc != nil
 }
 
 func flatOffsets(s *Stencil, g *grid.Grid) []int {
@@ -107,134 +137,249 @@ func flatOffsets(s *Stencil, g *grid.Grid) []int {
 // Interior(s.Order) so that every neighbour access is in bounds. It returns
 // the number of point updates performed.
 func (op *Op) ApplyBox(b grid.Box, t int) int64 {
-	b = b.Intersect(op.UpdateRegion())
-	if b.Empty() {
-		return 0
-	}
 	src := op.G.Buf(t)
 	dst := op.G.Buf(t + 1)
-	var n int64
+	if op.G.NumDims() > grid.MaxRowDims {
+		return op.applySlow(b, src, dst)
+	}
 	switch {
 	case op.periodic:
-		n = op.applyPeriodic(b, src, dst)
+		return op.applyPeriodic(b, src, dst)
+	case op.banded7:
+		return op.applyBanded7pt(b, src, dst)
 	case op.vc != nil:
-		n = op.applyBanded(b, src, dst)
-	case len(op.offs) == 7 && op.G.NumDims() == 3:
-		n = op.apply7pt(b, src, dst)
+		return op.applyBanded(b, src, dst)
+	case op.is7pt:
+		return op.apply7pt(b, src, dst)
 	default:
-		n = op.applyGeneric(b, src, dst)
+		return op.applyGeneric(b, src, dst)
 	}
-	if op.source != nil {
-		g := op.source
-		op.G.ForEachRow(b, func(off, length int, _ []int) {
-			for j := off; j < off+length; j++ {
-				dst[j] += g[j]
-			}
-		})
-	}
-	return n
 }
 
-// apply7pt is the specialized 3D 7-point constant kernel (the paper's model
-// problem, equation (1)): 7 multiplications, 6 additions per update.
-func (op *Op) apply7pt(b grid.Box, src, dst []float64) int64 {
-	c0 := op.coeffs[0]
-	c1, c2 := op.coeffs[1], op.coeffs[2] // -/+ dim 0
-	c3, c4 := op.coeffs[3], op.coeffs[4] // -/+ dim 1
-	c5, c6 := op.coeffs[5], op.coeffs[6] // -/+ dim 2
-	o1, o2 := op.offs[1], op.offs[2]
-	o3, o4 := op.offs[3], op.offs[4]
-	var updates int64
-	op.G.ForEachRow(b, func(off, length int, _ []int) {
-		for j := off; j < off+length; j++ {
-			dst[j] = c0*src[j] +
-				c1*src[j+o1] + c2*src[j+o2] +
-				c3*src[j+o3] + c4*src[j+o4] +
-				c5*src[j-1] + c6*src[j+1]
+// row7pt is the specialized 3D 7-point constant row kernel (the paper's
+// model problem, equation (1)): 7 multiplications, 6 additions per update.
+// Neighbour planes are pre-sliced to row extent so the inner loop runs
+// without bounds checks; the source term, when present, is fused into the
+// same expression.
+func (op *Op) row7pt(src, dst []float64, off, n int) {
+	c := op.coeffs
+	c0, c1, c2, c3, c4, c5, c6 := c[0], c[1], c[2], c[3], c[4], c[5], c[6]
+	o1, o2, o3, o4 := op.offs[1], op.offs[2], op.offs[3], op.offs[4]
+	d := dst[off : off+n : off+n]
+	s0 := src[off : off+n]
+	s1 := src[off+o1 : off+o1+n]
+	s2 := src[off+o2 : off+o2+n]
+	s3 := src[off+o3 : off+o3+n]
+	s4 := src[off+o4 : off+o4+n]
+	sm := src[off-1 : off-1+n]
+	sp := src[off+1 : off+1+n]
+	if g := op.source; g != nil {
+		gg := g[off : off+n]
+		for k := range d {
+			d[k] = c0*s0[k] +
+				c1*s1[k] + c2*s2[k] +
+				c3*s3[k] + c4*s4[k] +
+				c5*sm[k] + c6*sp[k] + gg[k]
 		}
-		updates += int64(length)
-	})
+		return
+	}
+	for k := range d {
+		d[k] = c0*s0[k] +
+			c1*s1[k] + c2*s2[k] +
+			c3*s3[k] + c4*s4[k] +
+			c5*sm[k] + c6*sp[k]
+	}
+}
+
+// apply7pt iterates the rows with every loop-invariant (coefficients,
+// neighbour offsets, source) hoisted out of the row loop; the body matches
+// row7pt, which the periodic path reuses per row.
+func (op *Op) apply7pt(b grid.Box, src, dst []float64) int64 {
+	c := op.coeffs
+	c0, c1, c2, c3, c4, c5, c6 := c[0], c[1], c[2], c[3], c[4], c[5], c[6]
+	o1, o2, o3, o4 := op.offs[1], op.offs[2], op.offs[3], op.offs[4]
+	g := op.source
+	var updates int64
+	for it := op.G.RowsIn(b, op.update); it.Next(); {
+		off, n := it.Offset(), it.Length()
+		updates += int64(n)
+		d := dst[off : off+n : off+n]
+		s0 := src[off : off+n]
+		s1 := src[off+o1 : off+o1+n]
+		s2 := src[off+o2 : off+o2+n]
+		s3 := src[off+o3 : off+o3+n]
+		s4 := src[off+o4 : off+o4+n]
+		sm := src[off-1 : off-1+n]
+		sp := src[off+1 : off+1+n]
+		if g != nil {
+			gg := g[off : off+n]
+			for k := range d {
+				d[k] = c0*s0[k] +
+					c1*s1[k] + c2*s2[k] +
+					c3*s3[k] + c4*s4[k] +
+					c5*sm[k] + c6*sp[k] + gg[k]
+			}
+			continue
+		}
+		for k := range d {
+			d[k] = c0*s0[k] +
+				c1*s1[k] + c2*s2[k] +
+				c3*s3[k] + c4*s4[k] +
+				c5*sm[k] + c6*sp[k]
+		}
+	}
 	return updates
 }
 
-// applyGeneric handles any dimension and order with constant coefficients.
-func (op *Op) applyGeneric(b grid.Box, src, dst []float64) int64 {
+// rowGeneric handles any dimension and order with constant coefficients.
+func (op *Op) rowGeneric(src, dst []float64, off, n int) {
 	offs, cs := op.offs, op.coeffs
 	np := len(offs)
-	var updates int64
-	op.G.ForEachRow(b, func(off, length int, _ []int) {
-		for i := off; i < off+length; i++ {
-			acc := cs[0] * src[i]
-			for p := 1; p < np; p++ {
-				acc += cs[p] * src[i+offs[p]]
-			}
-			dst[i] = acc
+	for i := off; i < off+n; i++ {
+		acc := cs[0] * src[i]
+		for p := 1; p < np; p++ {
+			acc += cs[p] * src[i+offs[p]]
 		}
-		updates += int64(length)
-	})
+		dst[i] = acc
+	}
+	if g := op.source; g != nil {
+		for i := off; i < off+n; i++ {
+			dst[i] += g[i]
+		}
+	}
+}
+
+// applyGeneric walks the box row by row with the allocation-free iterator
+// and hands each unit-stride run to the direct-indexing row kernel.
+func (op *Op) applyGeneric(b grid.Box, src, dst []float64) int64 {
+	var updates int64
+	for it := op.G.RowsIn(b, op.update); it.Next(); {
+		op.rowGeneric(src, dst, it.Offset(), it.Length())
+		updates += int64(it.Length())
+	}
 	return updates
 }
 
-// applyBanded handles variable coefficients: the banded matrix-vector
-// product with temporal iteration.
-func (op *Op) applyBanded(b grid.Box, src, dst []float64) int64 {
+// rowBanded handles variable coefficients: the banded matrix-vector product
+// with temporal iteration.
+func (op *Op) rowBanded(src, dst []float64, off, n int) {
 	offs := op.offs
 	data := op.vc.Data
 	np := len(offs)
-	var updates int64
-	op.G.ForEachRow(b, func(off, length int, _ []int) {
-		for i := off; i < off+length; i++ {
-			acc := data[0][i] * src[i]
-			for p := 1; p < np; p++ {
-				acc += data[p][i] * src[i+offs[p]]
-			}
-			dst[i] = acc
+	for i := off; i < off+n; i++ {
+		acc := data[0][i] * src[i]
+		for p := 1; p < np; p++ {
+			acc += data[p][i] * src[i+offs[p]]
 		}
-		updates += int64(length)
-	})
+		dst[i] = acc
+	}
+	if g := op.source; g != nil {
+		for i := off; i < off+n; i++ {
+			dst[i] += g[i]
+		}
+	}
+}
+
+// applyBanded mirrors applyGeneric for variable coefficients.
+func (op *Op) applyBanded(b grid.Box, src, dst []float64) int64 {
+	var updates int64
+	for it := op.G.RowsIn(b, op.update); it.Next(); {
+		op.rowBanded(src, dst, it.Offset(), it.Length())
+		updates += int64(it.Length())
+	}
+	return updates
+}
+
+// rowBanded7 is the specialized 3D 7-point banded row kernel: the unrolled
+// form of rowBanded for the first-order star, with all seven coefficient
+// bands and neighbour planes pre-sliced to row extent.
+func (op *Op) rowBanded7(src, dst []float64, off, n int) {
+	data := op.vc.Data
+	o1, o2, o3, o4 := op.offs[1], op.offs[2], op.offs[3], op.offs[4]
+	d := dst[off : off+n : off+n]
+	b0 := data[0][off : off+n]
+	b1 := data[1][off : off+n]
+	b2 := data[2][off : off+n]
+	b3 := data[3][off : off+n]
+	b4 := data[4][off : off+n]
+	b5 := data[5][off : off+n]
+	b6 := data[6][off : off+n]
+	s0 := src[off : off+n]
+	s1 := src[off+o1 : off+o1+n]
+	s2 := src[off+o2 : off+o2+n]
+	s3 := src[off+o3 : off+o3+n]
+	s4 := src[off+o4 : off+o4+n]
+	sm := src[off-1 : off-1+n]
+	sp := src[off+1 : off+1+n]
+	if g := op.source; g != nil {
+		gg := g[off : off+n]
+		for k := range d {
+			d[k] = b0[k]*s0[k] +
+				b1[k]*s1[k] + b2[k]*s2[k] +
+				b3[k]*s3[k] + b4[k]*s4[k] +
+				b5[k]*sm[k] + b6[k]*sp[k] + gg[k]
+		}
+		return
+	}
+	for k := range d {
+		d[k] = b0[k]*s0[k] +
+			b1[k]*s1[k] + b2[k]*s2[k] +
+			b3[k]*s3[k] + b4[k]*s4[k] +
+			b5[k]*sm[k] + b6[k]*sp[k]
+	}
+}
+
+func (op *Op) applyBanded7pt(b grid.Box, src, dst []float64) int64 {
+	var updates int64
+	for it := op.G.RowsIn(b, op.update); it.Next(); {
+		op.rowBanded7(src, dst, it.Offset(), it.Length())
+		updates += int64(it.Length())
+	}
 	return updates
 }
 
 // applyPeriodic handles wrapped boundaries: rows out of reach of every seam
-// use the fast kernels; seam rows compute wrapped neighbour indices per
-// point.
+// use the fast row kernels directly (no per-row box construction); seam rows
+// compute wrapped neighbour indices per point. The coordinate scratch lives
+// on the stack, reused across rows.
 func (op *Op) applyPeriodic(b grid.Box, src, dst []float64) int64 {
 	s := op.St.Order
 	nd := op.G.NumDims()
-	dims := op.G.Dims()
+	dims := op.dims
 	last := nd - 1
-	pt := make([]int, nd)
+	var ptArr [grid.MaxRowDims]int
+	pt := ptArr[:nd]
 	var updates int64
-	op.G.ForEachRow(b, func(off, length int, start []int) {
-		updates += int64(length)
+	for it := op.G.RowsIn(b, op.update); it.Next(); {
+		off, n := it.Offset(), it.Length()
+		updates += int64(n)
+		it.Start(pt)
 		// A row is seam-free when every non-unit coordinate is at least s
 		// from both edges and the row (extended by s along the unit-stride
 		// dimension) stays in bounds.
-		interior := start[last]-s >= 0 && start[last]+length-1+s < dims[last]
+		interior := pt[last]-s >= 0 && pt[last]+n-1+s < dims[last]
 		for k := 0; k < last && interior; k++ {
-			if start[k] < s || start[k] >= dims[k]-s {
+			if pt[k] < s || pt[k] >= dims[k]-s {
 				interior = false
 			}
 		}
 		if interior {
-			row := grid.Box{Lo: append([]int(nil), start...), Hi: append([]int(nil), start...)}
-			for k := range row.Hi {
-				row.Hi[k]++
-			}
-			row.Hi[last] = start[last] + length
 			switch {
+			case op.banded7:
+				op.rowBanded7(src, dst, off, n)
 			case op.vc != nil:
-				op.applyBanded(row, src, dst)
-			case len(op.offs) == 7 && nd == 3:
-				op.apply7pt(row, src, dst)
+				op.rowBanded(src, dst, off, n)
+			case op.is7pt:
+				op.row7pt(src, dst, off, n)
 			default:
-				op.applyGeneric(row, src, dst)
+				op.rowGeneric(src, dst, off, n)
 			}
-			return
+			continue
 		}
-		copy(pt, start)
-		for i := 0; i < length; i++ {
-			pt[last] = start[last] + i
+		gsrc := op.source
+		x0 := pt[last]
+		for i := 0; i < n; i++ {
+			pt[last] = x0 + i
 			acc := 0.0
 			centre := off + i
 			for p, offc := range op.points {
@@ -254,15 +399,87 @@ func (op *Op) applyPeriodic(b grid.Box, src, dst []float64) int64 {
 					acc += op.coeffs[p] * src[idx]
 				}
 			}
+			if gsrc != nil {
+				acc += gsrc[centre]
+			}
 			dst[centre] = acc
 		}
+	}
+	return updates
+}
+
+// applySlow is the closure-based fallback for grids beyond grid.MaxRowDims,
+// where the allocation-free iterator does not apply. It reproduces the fast
+// paths' semantics at any dimensionality.
+func (op *Op) applySlow(b grid.Box, src, dst []float64) int64 {
+	bb := b.Intersect(op.UpdateRegion())
+	if bb.Empty() {
+		return 0
+	}
+	var updates int64
+	if op.periodic {
+		nd := op.G.NumDims()
+		dims := op.dims
+		last := nd - 1
+		pt := make([]int, nd)
+		op.G.ForEachRow(bb, func(off, length int, start []int) {
+			updates += int64(length)
+			copy(pt, start)
+			for i := 0; i < length; i++ {
+				pt[last] = start[last] + i
+				acc := 0.0
+				centre := off + i
+				for p, offc := range op.points {
+					idx := 0
+					for k := 0; k < nd; k++ {
+						c := pt[k] + offc[k]
+						if c < 0 {
+							c += dims[k]
+						} else if c >= dims[k] {
+							c -= dims[k]
+						}
+						idx += c * op.G.Stride(k)
+					}
+					if op.vc != nil {
+						acc += op.vc.Data[p][centre] * src[idx]
+					} else {
+						acc += op.coeffs[p] * src[idx]
+					}
+				}
+				if op.source != nil {
+					acc += op.source[centre]
+				}
+				dst[centre] = acc
+			}
+		})
+		return updates
+	}
+	offs := op.offs
+	np := len(offs)
+	op.G.ForEachRow(bb, func(off, length int, _ []int) {
+		for i := off; i < off+length; i++ {
+			var acc float64
+			if op.vc != nil {
+				acc = op.vc.Data[0][i] * src[i]
+				for p := 1; p < np; p++ {
+					acc += op.vc.Data[p][i] * src[i+offs[p]]
+				}
+			} else {
+				acc = op.coeffs[0] * src[i]
+				for p := 1; p < np; p++ {
+					acc += op.coeffs[p] * src[i+offs[p]]
+				}
+			}
+			if op.source != nil {
+				acc += op.source[i]
+			}
+			dst[i] = acc
+		}
+		updates += int64(length)
 	})
 	return updates
 }
 
-// applyBanded and applyGeneric share shape; kept separate so the constant
-// path avoids the extra indirection per point.
-
 // Unit-stride wrap note: kernels never wrap indices; callers must clip boxes
-// to Interior(order). apply7pt indexes row[i-1] and row[i+1], which stay in
+// to Interior(order). row7pt indexes row[i-1] and row[i+1], which stay in
 // src because the interior excludes the boundary ring.

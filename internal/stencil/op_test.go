@@ -161,3 +161,58 @@ func TestStencilStrings(t *testing.T) {
 		t.Error("unknown kind must still format")
 	}
 }
+
+// Every fast kernel path must be allocation-free: tile execution calls
+// ApplyBox millions of times and any per-call or per-row allocation shows
+// up directly as GC pressure on the hot path.
+func TestApplyBoxNoAllocs(t *testing.T) {
+	g := grid.New([]int{20, 20, 20})
+	g.FillFunc(func(pt []int) float64 { return float64(pt[0] + 2*pt[1] - pt[2]) })
+	src := make([]float64, g.Len())
+	for i := range src {
+		src[i] = float64(i % 17)
+	}
+	cases := []struct {
+		name string
+		op   *Op
+	}{
+		{"7pt", NewOp(NewStar(3, 1), g)},
+		{"generic-s2", NewOp(NewStar(3, 2), g)},
+		{"generic-s3", NewOp(NewStar(3, 3), g)},
+		{"banded-7pt", NewBandedOp(NewBandedStar(3, 1), g, NewCoefficients(NewBandedStar(3, 1), g))},
+		{"banded-s2", NewBandedOp(NewBandedStar(3, 2), g, NewCoefficients(NewBandedStar(3, 2), g))},
+	}
+	for _, c := range cases {
+		for _, withSource := range []bool{false, true} {
+			name := c.name
+			if withSource {
+				name += "+source"
+				c.op.SetSource(src)
+			} else {
+				c.op.SetSource(nil)
+			}
+			box := g.Interior(3)
+			allocs := testing.AllocsPerRun(10, func() {
+				if c.op.ApplyBox(box, 0) == 0 {
+					t.Fatal("no updates")
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s: %.1f allocs per ApplyBox, want 0", name, allocs)
+			}
+		}
+	}
+	// The periodic (wrapped) path, seam rows included.
+	op := NewOp(NewStar(3, 1), g)
+	op.SetPeriodic(true)
+	op.SetSource(src)
+	full := g.Bounds()
+	allocs := testing.AllocsPerRun(10, func() {
+		if op.ApplyBox(full, 0) == 0 {
+			t.Fatal("no updates")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("periodic: %.1f allocs per ApplyBox, want 0", allocs)
+	}
+}

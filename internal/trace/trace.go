@@ -24,26 +24,50 @@ type Event struct {
 	End     time.Duration
 }
 
+// shard is one worker's private event list, padded out to a cache line so
+// concurrent appends by neighbouring workers do not false-share the slice
+// headers.
+type shard struct {
+	events []Event
+	_      [40]byte
+}
+
 // Trace collects events from a run. It is safe for concurrent use by the
-// engine's workers.
+// engine's workers: a trace made with NewForWorkers gives each worker its
+// own shard, so recording on the execution hot path takes no lock at all.
 type Trace struct {
 	mu     sync.Mutex
 	origin time.Time
-	events []Event
+	events []Event // fallback for New() traces and out-of-range workers
+	shards []shard // one per worker; each written only by that worker
 }
 
-// New returns an empty trace starting now.
+// New returns an empty trace starting now. Record serializes on a mutex;
+// prefer NewForWorkers when the worker count is known.
 func New() *Trace {
 	return &Trace{origin: time.Now()}
 }
 
+// NewForWorkers returns an empty trace starting now with one lock-free
+// event shard per worker. Each worker index must be recorded by at most one
+// goroutine at a time (the engine's per-worker execution guarantees this),
+// and readers (Events, Span, ...) must not run concurrently with Record.
+func NewForWorkers(workers int) *Trace {
+	return &Trace{origin: time.Now(), shards: make([]shard, workers)}
+}
+
 // Record adds one tile execution. start/end are absolute times.
 func (tr *Trace) Record(worker, tileID, t0, t1 int, updates int64, start, end time.Time) {
-	tr.mu.Lock()
-	tr.events = append(tr.events, Event{
+	ev := Event{
 		Worker: worker, TileID: tileID, T0: t0, T1: t1, Updates: updates,
 		Start: start.Sub(tr.origin), End: end.Sub(tr.origin),
-	})
+	}
+	if worker >= 0 && worker < len(tr.shards) {
+		tr.shards[worker].events = append(tr.shards[worker].events, ev)
+		return
+	}
+	tr.mu.Lock()
+	tr.events = append(tr.events, ev)
 	tr.mu.Unlock()
 }
 
@@ -51,7 +75,15 @@ func (tr *Trace) Record(worker, tileID, t0, t1 int, updates int64, start, end ti
 func (tr *Trace) Events() []Event {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
-	out := append([]Event(nil), tr.events...)
+	n := len(tr.events)
+	for i := range tr.shards {
+		n += len(tr.shards[i].events)
+	}
+	out := make([]Event, 0, n)
+	out = append(out, tr.events...)
+	for i := range tr.shards {
+		out = append(out, tr.shards[i].events...)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
 }

@@ -1,0 +1,114 @@
+package xsync
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParkerUnparkBeforeParkReturnsImmediately(t *testing.T) {
+	var p Parker
+	p.Unpark()
+	done := make(chan struct{})
+	go func() {
+		p.Park(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Park blocked despite pending notification")
+	}
+}
+
+func TestParkerUnparksCoalesce(t *testing.T) {
+	var p Parker
+	for i := 0; i < 5; i++ {
+		p.Unpark()
+	}
+	p.Park(0) // consumes the single coalesced token
+	done := make(chan struct{})
+	go func() {
+		p.Park(0)
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("second Park returned without a new notification")
+	default:
+	}
+	p.Unpark()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Park did not observe Unpark")
+	}
+}
+
+func TestParkerWakesParkedOwner(t *testing.T) {
+	var p Parker
+	done := make(chan struct{})
+	go func() {
+		p.Park(0)
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond) // let the owner reach the parked state
+	p.Unpark()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("parked owner never woke")
+	}
+}
+
+// Strict ping-pong between two goroutines: each round the notification must
+// publish the peer's unsynchronized payload write (the race detector checks
+// the happens-before edge), and alternation means no token is ever lost.
+func TestParkerPingPong(t *testing.T) {
+	const rounds = 2000
+	var a, b Parker
+	payload := 0
+	done := make(chan int)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			a.Park(4)
+			payload++
+			b.Unpark()
+		}
+		done <- 0
+	}()
+	for i := 0; i < rounds; i++ {
+		payload++
+		a.Unpark()
+		b.Park(4)
+	}
+	<-done
+	if payload != 2*rounds {
+		t.Fatalf("payload = %d, want %d", payload, 2*rounds)
+	}
+}
+
+// Many concurrent unparkers, one owner: the owner polls a counter and parks
+// between checks. Every Add precedes an Unpark, so after consuming the final
+// token the final count is visible — the loop can never park forever.
+func TestParkerManyUnparkers(t *testing.T) {
+	const producers, perProducer = 8, 500
+	var p Parker
+	var work atomic.Int64
+	for i := 0; i < producers; i++ {
+		go func() {
+			for j := 0; j < perProducer; j++ {
+				work.Add(1)
+				p.Unpark()
+			}
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for work.Load() < producers*perProducer {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled at %d/%d", work.Load(), producers*perProducer)
+		}
+		p.Park(8)
+	}
+}

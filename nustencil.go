@@ -158,6 +158,16 @@ func (r Report) Gupdates() float64 {
 // GFLOPS returns the achieved GFLOPS.
 func (r Report) GFLOPS() float64 { return r.Gupdates() * float64(r.FlopsPerUpdate) }
 
+// plan is a cached tiling: the tiles of one (scheme, timesteps) instance
+// with IDs assigned and the dependency graph derived. Everything in it is
+// a pure function of the solver configuration and the timestep count, so
+// repeated RunSteps calls (iterative solvers, benchmarks) skip both the
+// tiler and the O(tiles·deps) graph derivation.
+type plan struct {
+	tiles []*spacetime.Tile
+	deps  [][]int
+}
+
 // Solver executes iterative stencil computations on one grid.
 type Solver struct {
 	cfg    Config
@@ -167,6 +177,7 @@ type Solver struct {
 	source []float64
 	scheme tiling.Scheme
 	steps  int // timesteps already run, for buffer parity
+	plans  map[int]*plan
 }
 
 // NewSolver validates the configuration and allocates the grid (both
@@ -312,20 +323,34 @@ func (s *Solver) runSteps(timesteps int, traced bool, width int) (Report, string
 		rep.UpdatesPerWorker = make([]int64, cfg.Workers)
 		return rep, "", nil
 	}
-	p := &tiling.Problem{
-		Grid:              s.g,
-		Stencil:           s.st,
-		Timesteps:         timesteps,
-		Workers:           cfg.Workers,
-		Topo:              affinity.Fixed{Cores: cfg.Workers, Nodes: cfg.NUMANodes},
-		LLCBytesPerWorker: cfg.LLCBytesPerWorker,
-		Periodic:          cfg.Periodic,
+	var wrap []int
+	if cfg.Periodic {
+		wrap = s.g.Dims()
 	}
-	s.scheme.Distribute(p)
-	tiles, err := s.scheme.Tiles(p)
-	if err != nil {
-		return rep, "", err
+	pl := s.plans[timesteps]
+	if pl == nil {
+		p := &tiling.Problem{
+			Grid:              s.g,
+			Stencil:           s.st,
+			Timesteps:         timesteps,
+			Workers:           cfg.Workers,
+			Topo:              affinity.Fixed{Cores: cfg.Workers, Nodes: cfg.NUMANodes},
+			LLCBytesPerWorker: cfg.LLCBytesPerWorker,
+			Periodic:          cfg.Periodic,
+		}
+		s.scheme.Distribute(p)
+		tiles, err := s.scheme.Tiles(p)
+		if err != nil {
+			return rep, "", err
+		}
+		spacetime.AssignIDs(tiles)
+		pl = &plan{tiles: tiles, deps: engine.BuildDeps(tiles, cfg.Order, wrap)}
+		if s.plans == nil {
+			s.plans = make(map[int]*plan)
+		}
+		s.plans[timesteps] = pl
 	}
+	tiles := pl.tiles
 
 	var op *stencil.Op
 	if s.coeffs != nil {
@@ -335,10 +360,6 @@ func (s *Solver) runSteps(timesteps int, traced bool, width int) (Report, string
 	}
 	op.SetSource(s.source)
 	op.SetPeriodic(cfg.Periodic)
-	var wrap []int
-	if cfg.Periodic {
-		wrap = s.g.Dims()
-	}
 	base := s.steps
 	exec := func(w int, tile *spacetime.Tile) int64 {
 		var n int64
@@ -349,7 +370,7 @@ func (s *Solver) runSteps(timesteps int, traced bool, width int) (Report, string
 	}
 	var tr *trace.Trace
 	if traced {
-		tr = trace.New()
+		tr = trace.NewForWorkers(cfg.Workers)
 		inner := exec
 		exec = func(w int, tile *spacetime.Tile) int64 {
 			t0 := time.Now()
@@ -367,6 +388,7 @@ func (s *Solver) runSteps(timesteps int, traced bool, width int) (Report, string
 		Workers: cfg.Workers,
 		Order:   cfg.Order,
 		Wrap:    wrap,
+		Deps:    pl.deps,
 		Pin:     cfg.PinThreads,
 		Exec:    exec,
 	})

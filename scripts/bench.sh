@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# bench.sh — hot-path regression gate.
+#
+# Runs the race-detector suites and go vet, benchmarks the current tree, and
+# (when a baseline ref is given or HEAD has a parent) benchmarks the baseline
+# from a temporary git worktree for a benchstat-style before/after table.
+# Results are written to BENCH_engine.json in the repo root.
+#
+# Usage: scripts/bench.sh [baseline-ref] [benchtime]
+#   baseline-ref  git ref to compare against (default: HEAD~1; "none" skips)
+#   benchtime     passed to -benchtime (default: 10x)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BASE_REF="${1:-HEAD~1}"
+BENCHTIME="${2:-10x}"
+BENCH_RE='BenchmarkScheme$|BenchmarkKernel|BenchmarkScheduler'
+
+echo "== race-detector suites =="
+go test -race ./internal/engine/... ./internal/stencil/...
+
+echo "== go vet =="
+go vet ./...
+
+run_bench() { # dir outfile
+    (cd "$1" && go test -run 'xxx' -bench "$BENCH_RE" -benchtime "$BENCHTIME" -benchmem . 2>/dev/null) \
+        | awk '/^Benchmark/{print $1, $3, $5, $7}' > "$2"
+}
+
+echo "== benchmarks (current tree) =="
+AFTER="$(mktemp)"
+run_bench . "$AFTER"
+cat "$AFTER"
+
+BEFORE=""
+if [ "$BASE_REF" != "none" ] && git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
+    echo "== benchmarks (baseline $BASE_REF) =="
+    WT="$(mktemp -d)/base"
+    git worktree add --detach "$WT" "$BASE_REF" >/dev/null 2>&1
+    trap 'git worktree remove --force "$WT" >/dev/null 2>&1 || true' EXIT
+    BEFORE="$(mktemp)"
+    run_bench "$WT" "$BEFORE"
+    cat "$BEFORE"
+
+    echo "== comparison (ns/op, negative delta = faster) =="
+    awk 'NR==FNR{old[$1]=$2; next}
+         ($1 in old) && old[$1]>0 {
+             printf "%-40s %12s -> %12s  %+7.1f%%\n", $1, old[$1], $2, 100*($2-old[$1])/old[$1]
+         }' "$BEFORE" "$AFTER"
+fi
+
+# Emit machine-readable results.
+{
+    echo '{'
+    echo "  \"baseline_ref\": \"$([ -n "$BEFORE" ] && git rev-parse "$BASE_REF" || echo none)\","
+    echo "  \"benchtime\": \"$BENCHTIME\","
+    echo '  "benchmarks": ['
+    awk 'NR==FNR{old[$1]=$2; next}
+         {
+             delta = "null"
+             if (($1 in old) && old[$1] > 0) delta = sprintf("%.4f", ($2 - old[$1]) / old[$1])
+             printf "%s    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"baseline_ns_per_op\": %s, \"delta\": %s}", \
+                 sep, $1, $2, ($3 == "" ? "null" : $3), ($4 == "" ? "null" : $4), (($1 in old) ? old[$1] : "null"), delta
+             sep = ",\n"
+         }
+         END { print "" }' "${BEFORE:-/dev/null}" "$AFTER"
+    echo '  ]'
+    echo '}'
+} > BENCH_engine.json
+echo "wrote BENCH_engine.json"
