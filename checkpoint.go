@@ -25,8 +25,13 @@ const checkpointVersion = 1
 // Save writes the solver's current state — grid values, per-cell
 // coefficients, source term, and completed step count — to w, so a long
 // time-stepping run can resume later with Load. The scheme and worker
-// configuration are not stored: they can change across a resume.
+// configuration are not stored: they can change across a resume. Save
+// refuses a poisoned solver (see ErrPoisoned): persisting a half-mutated
+// grid would silently corrupt the checkpoint chain.
 func (s *Solver) Save(w io.Writer) error {
+	if err := s.Err(); err != nil {
+		return err
+	}
 	cp := checkpoint{
 		Version:   checkpointVersion,
 		Dims:      s.cfg.Dims,
@@ -45,8 +50,11 @@ func (s *Solver) Save(w io.Writer) error {
 }
 
 // Load restores a state written by Save into this solver. The solver's
-// grid shape, order, boundary mode, and coefficient kind must match the
-// checkpoint.
+// grid shape, order, boundary mode, stencil size, and coefficient kind
+// must match the checkpoint. Every field is validated before anything is
+// mutated, so a corrupted or mismatched checkpoint leaves the solver
+// untouched; a successful Load installs a fully consistent state and
+// therefore clears any poison (see ErrPoisoned).
 func (s *Solver) Load(r io.Reader) error {
 	var cp checkpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
@@ -66,13 +74,20 @@ func (s *Solver) Load(r io.Reader) error {
 	if cp.Order != s.cfg.Order || cp.Banded != s.cfg.Banded || cp.Periodic != s.cfg.Periodic {
 		return fmt.Errorf("nustencil: checkpoint stencil configuration mismatch")
 	}
+	if cp.StencilNP != s.st.NumPoints() {
+		return fmt.Errorf("nustencil: checkpoint stencil has %d points, solver has %d", cp.StencilNP, s.st.NumPoints())
+	}
 	if len(cp.State) != s.g.Len() {
 		return fmt.Errorf("nustencil: checkpoint holds %d values, grid needs %d", len(cp.State), s.g.Len())
 	}
-	if err := s.Import(cp.State); err != nil {
-		return err
+	if cp.StepsRun < 0 {
+		return fmt.Errorf("nustencil: checkpoint has negative step count %d", cp.StepsRun)
 	}
-	s.steps = cp.StepsRun
+	// A source slice shorter than the grid would panic deep inside the
+	// kernel's ApplyBox on the first run after the resume.
+	if cp.Source != nil && len(cp.Source) != s.g.Len() {
+		return fmt.Errorf("nustencil: checkpoint source holds %d values, grid needs %d", len(cp.Source), s.g.Len())
+	}
 	if cp.Coeffs != nil {
 		if s.coeffs == nil || len(cp.Coeffs) != len(s.coeffs.Data) {
 			return fmt.Errorf("nustencil: checkpoint coefficients do not fit this solver")
@@ -81,8 +96,16 @@ func (s *Solver) Load(r io.Reader) error {
 			if len(cp.Coeffs[p]) != len(s.coeffs.Data[p]) {
 				return fmt.Errorf("nustencil: checkpoint coefficient slab %d has wrong length", p)
 			}
-			copy(s.coeffs.Data[p], cp.Coeffs[p])
 		}
+	}
+
+	// All validated: mutate. Import clears the poison.
+	if err := s.Import(cp.State); err != nil {
+		return err
+	}
+	s.steps = cp.StepsRun
+	for p := range cp.Coeffs {
+		copy(s.coeffs.Data[p], cp.Coeffs[p])
 	}
 	if cp.Source != nil {
 		s.source = append(s.source[:0], cp.Source...)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -34,7 +35,15 @@ func main() {
 	verify := flag.Bool("verify", false, "cross-check the result against the naive scheme")
 	traceW := flag.Int("trace", 0, "render an execution timeline this many columns wide")
 	periodic := flag.Bool("periodic", false, "periodic (torus) boundaries; implies the naive scheme")
+	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock budget, e.g. 30s (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	d, err := cliutil.ParseDims(*dims)
 	if err != nil {
@@ -55,7 +64,7 @@ func main() {
 	if *periodic {
 		cfg.Scheme = nustencil.Naive
 	}
-	rep, probe, timeline, err := run(cfg, *traceW)
+	rep, probe, timeline, err := run(ctx, cfg, *traceW)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +85,7 @@ func main() {
 
 	if *verify {
 		cfg.Scheme = nustencil.Naive
-		_, want, _, err := run(cfg, 0)
+		_, want, _, err := run(ctx, cfg, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -88,7 +97,7 @@ func main() {
 	}
 }
 
-func run(cfg nustencil.Config, traceW int) (nustencil.Report, float64, string, error) {
+func run(ctx context.Context, cfg nustencil.Config, traceW int) (nustencil.Report, float64, string, error) {
 	s, err := nustencil.NewSolver(cfg)
 	if err != nil {
 		return nustencil.Report{}, 0, "", err
@@ -115,9 +124,9 @@ func run(cfg nustencil.Config, traceW int) (nustencil.Report, float64, string, e
 	var rep nustencil.Report
 	timeline := ""
 	if traceW > 0 {
-		rep, timeline, err = s.RunStepsTraced(cfg.Timesteps, traceW)
+		rep, timeline, err = s.RunStepsTracedContext(ctx, cfg.Timesteps, traceW)
 	} else {
-		rep, err = s.Run()
+		rep, err = s.RunContext(ctx)
 	}
 	if err != nil {
 		return rep, 0, "", err

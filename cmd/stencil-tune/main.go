@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +27,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker threads (default NumCPU)")
 	repeats := flag.Int("repeats", 3, "repeats per candidate (best counts)")
 	budget := flag.Duration("budget", 2*time.Minute, "total search budget")
+	candidateBudget := flag.Duration("candidate-budget", 30*time.Second,
+		"wall-clock budget per candidate (all repeats); a hung candidate is cancelled and ranked last (0 = none)")
 	top := flag.Int("top", 10, "show this many candidates")
 	flag.Parse()
 
@@ -46,10 +49,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("tuning %s on %s, %d steps, %d workers: %d candidates × %d repeats (budget %v)\n\n",
-		*scheme, *dims, *steps, w.Workers, space.Size(), *repeats, *budget)
+	fmt.Printf("tuning %s on %s, %d steps, %d workers: %d candidates × %d repeats (budget %v, %v per candidate)\n\n",
+		*scheme, *dims, *steps, w.Workers, space.Size(), *repeats, *budget, *candidateBudget)
 	start := time.Now()
-	results := tune.GridSearch(space, measure, tune.Options{Repeats: *repeats, Budget: *budget})
+	results := tune.GridSearch(context.Background(), space, measure, tune.Options{
+		Repeats: *repeats, Budget: *budget, CandidateBudget: *candidateBudget,
+	})
 	fmt.Printf("searched %d candidates in %v\n\n", len(results), time.Since(start).Round(time.Millisecond))
 
 	if len(results) == 0 {

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,7 +44,16 @@ type Config struct {
 	// Pin locks each worker goroutine to an OS thread and best-effort pins
 	// it to CPU w (Linux). Purely an optimization for real runs.
 	Pin bool
-	// Exec runs a tile. Required.
+	// Ctx, when non-nil, bounds the run: once it is cancelled or its
+	// deadline passes, workers stop claiming tiles (parked workers are
+	// woken by an Unpark broadcast) and the run returns Ctx.Err(). A worker
+	// already inside Exec finishes its current tile first, so the
+	// cancellation delay is bounded by one tile execution. Nil disables
+	// cancellation at no cost: the per-tile check is the same single atomic
+	// status load either way.
+	Ctx context.Context
+	// Exec runs a tile. Required. A panic inside Exec is recovered,
+	// converted to a *PanicError, and cancels the remaining workers.
 	Exec Exec
 }
 
@@ -96,21 +107,40 @@ type runState struct {
 
 	remaining atomic.Int32 // tiles not yet executed
 	idle      atomic.Int32 // workers currently out of work
-	done      atomic.Bool
-	failed    atomic.Bool
+	status    atomic.Int32 // runActive until the first terminal event (CAS)
+	panicErr  *PanicError  // set by the worker whose CAS to runPanicked won
+}
+
+// fail tries to move the run into terminal state `to` and, on winning the
+// race, wakes every parked worker so they observe it. Returns whether this
+// caller's event is the recorded outcome.
+func (st *runState) fail(to int32) bool {
+	if st.status.CompareAndSwap(runActive, to) {
+		st.unparkAll()
+		return true
+	}
+	return false
 }
 
 // Run executes the tiling on cfg.Workers workers, respecting the flow
 // dependencies implied by the geometry for a stencil of order cfg.Order.
 // Tiles with Owner >= 0 run only on worker Owner % Workers (data-to-core
 // affinity); tiles with Owner < 0 go to a shared queue any worker may drain
-// (the NUMA-ignorant case). Run returns ErrCycle if the tiling deadlocks.
+// (the NUMA-ignorant case). Run returns ErrCycle if the tiling deadlocks,
+// cfg.Ctx.Err() if the context is cancelled mid-run, and a *PanicError if
+// any Exec panics. On any error the grid may be partially updated — it is
+// the caller's job to treat the state as unusable (see Solver poisoning).
 func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 	if cfg.Exec == nil {
 		return nil, errors.New("engine: Config.Exec is required")
 	}
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("engine: workers must be positive, got %d", cfg.Workers)
+	}
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	stats := &Stats{
 		Workers:          cfg.Workers,
@@ -165,6 +195,23 @@ func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 		}
 	}
 
+	// The context watcher translates cancellation into the shared status
+	// word and an Unpark broadcast, so parked workers wake to observe it.
+	// It is torn down (and never leaks) when the run finishes first.
+	var watcherStop chan struct{}
+	if cfg.Ctx != nil {
+		if done := cfg.Ctx.Done(); done != nil {
+			watcherStop = make(chan struct{})
+			go func() {
+				select {
+				case <-done:
+					st.fail(runCancelled)
+				case <-watcherStop:
+				}
+			}()
+		}
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -179,8 +226,16 @@ func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 		}(w)
 	}
 	wg.Wait()
-	if st.failed.Load() {
+	if watcherStop != nil {
+		close(watcherStop)
+	}
+	switch st.status.Load() {
+	case runBlocked:
 		return nil, ErrCycle
+	case runCancelled:
+		return nil, cfg.Ctx.Err()
+	case runPanicked:
+		return nil, st.panicErr
 	}
 	for _, u := range stats.UpdatesPerWorker {
 		stats.TotalUpdates += u
@@ -244,8 +299,26 @@ func (st *runState) next(w int) int {
 }
 
 func (st *runState) worker(w int, cfg Config, stats *Stats) {
+	// cur tracks the tile whose Exec is in flight so the recover below can
+	// attribute a panic. The recover sits at the worker top (not around each
+	// Exec call) to keep the hot path free of per-tile defers; a worker that
+	// panics in its own scheduler code is converted the same way, with
+	// Tile = -1.
+	cur := -1
+	defer func() {
+		if r := recover(); r != nil {
+			id := -1
+			if cur >= 0 {
+				id = st.tiles[cur].ID
+			}
+			pe := &PanicError{Tile: id, Worker: w, Value: r, Stack: debug.Stack()}
+			if st.fail(runPanicked) {
+				st.panicErr = pe
+			}
+		}
+	}()
 	for {
-		if st.done.Load() || st.failed.Load() {
+		if st.status.Load() != runActive {
 			return
 		}
 		i := st.next(w)
@@ -256,12 +329,11 @@ func (st *runState) worker(w int, cfg Config, stats *Stats) {
 			// so when idle == Workers every completed tile's pushes are
 			// visible: empty queues plus remaining tiles mean no tile can
 			// ever become ready again — a true cycle, reported soundly.
+			// (A worker stuck in Exec keeps idle below Workers, so a panic
+			// or cancel landing there can never be misreported as a cycle.)
 			n := st.idle.Add(1)
 			if n == int32(cfg.Workers) && st.remaining.Load() > 0 && !st.anyReady() {
-				if !st.done.Load() && !st.failed.Load() {
-					st.failed.Store(true)
-					st.unparkAll()
-				}
+				st.fail(runBlocked)
 				st.idle.Add(-1)
 				continue
 			}
@@ -270,8 +342,10 @@ func (st *runState) worker(w int, cfg Config, stats *Stats) {
 			continue
 		}
 
+		cur = i
 		t0 := time.Now()
 		n := cfg.Exec(w, st.tiles[i])
+		cur = -1
 		stats.BusyPerWorker[w] += time.Since(t0)
 		stats.UpdatesPerWorker[w] += n
 		stats.TilesPerWorker[w]++
@@ -284,8 +358,9 @@ func (st *runState) worker(w int, cfg Config, stats *Stats) {
 			}
 		}
 		if st.remaining.Add(-1) == 0 {
-			st.done.Store(true)
-			st.unparkAll()
+			if st.status.CompareAndSwap(runActive, runDone) {
+				st.unparkAll()
+			}
 			return
 		}
 	}

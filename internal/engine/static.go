@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,12 +37,23 @@ var ErrUnownedTile = errors.New("engine: static execution requires every tile to
 // as ErrStaticDeadlock. All of this repository's NUMA-aware tilers emit in
 // dependency-consistent order; RunStatic exists to demonstrate that and to
 // measure scheduler overhead against Run.
+//
+// RunStatic shares Run's failure semantics: cfg.Ctx cancellation is
+// observed between tiles and inside every spin-wait (spinning workers poll
+// the shared status word, so no Unpark broadcast is needed), and a panic
+// in any Exec is recovered into a *PanicError that stops the other
+// workers instead of killing the process.
 func RunStatic(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 	if cfg.Exec == nil {
 		return nil, errors.New("engine: Config.Exec is required")
 	}
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("engine: workers must be positive, got %d", cfg.Workers)
+	}
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	stats := &Stats{
 		Workers:          cfg.Workers,
@@ -72,11 +84,14 @@ func RunStatic(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 
 	var waiting, finished atomic.Int32
 	var progress atomic.Int64
-	var deadlocked atomic.Bool
+	var status atomic.Int32 // runActive until the first terminal event
+	var panicErr *PanicError
 
-	// waitFlag spin-waits for flag i, detecting global deadlock: if every
-	// worker is waiting and no tile completes across a long observation
-	// window, no flag can ever be set again (only workers set flags).
+	// waitFlag spin-waits for flag i, bailing out on any terminal status
+	// (cancellation, a peer's panic, declared deadlock) and detecting global
+	// deadlock itself: if every worker is waiting or finished and no tile
+	// completes across a long observation window, no flag can ever be set
+	// again (only workers set flags).
 	waitFlag := func(i int) bool {
 		if flags.IsSet(i) {
 			return true
@@ -86,14 +101,14 @@ func RunStatic(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 		snap := progress.Load()
 		idle := 0
 		for !flags.IsSet(i) {
-			if deadlocked.Load() {
+			if status.Load() != runActive {
 				return false
 			}
 			runtime.Gosched()
 			if waiting.Load()+finished.Load() == int32(cfg.Workers) && progress.Load() == snap {
 				idle++
 				if idle > 1<<14 {
-					deadlocked.Store(true)
+					status.CompareAndSwap(runActive, runBlocked)
 					return false
 				}
 			} else {
@@ -104,25 +119,57 @@ func RunStatic(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 		return true
 	}
 
+	var watcherStop chan struct{}
+	if cfg.Ctx != nil {
+		if done := cfg.Ctx.Done(); done != nil {
+			watcherStop = make(chan struct{})
+			go func() {
+				select {
+				case <-done:
+					status.CompareAndSwap(runActive, runCancelled)
+				case <-watcherStop:
+				}
+			}()
+		}
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			defer finished.Add(1)
+			cur := -1
+			defer func() {
+				if r := recover(); r != nil {
+					id := -1
+					if cur >= 0 {
+						id = tiles[cur].ID
+					}
+					pe := &PanicError{Tile: id, Worker: w, Value: r, Stack: debug.Stack()}
+					if status.CompareAndSwap(runActive, runPanicked) {
+						panicErr = pe
+					}
+				}
+			}()
 			if cfg.Pin {
 				runtime.LockOSThread()
 				defer runtime.UnlockOSThread()
 				_ = affinity.PinCurrentThread(w)
 			}
 			for _, i := range lists[w] {
+				if status.Load() != runActive {
+					return
+				}
 				for _, d := range deps[i] {
 					if !waitFlag(d) {
 						return
 					}
 				}
+				cur = i
 				t0 := time.Now()
 				n := cfg.Exec(w, tiles[i])
+				cur = -1
 				stats.BusyPerWorker[w] += time.Since(t0)
 				stats.UpdatesPerWorker[w] += n
 				stats.TilesPerWorker[w]++
@@ -132,8 +179,16 @@ func RunStatic(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 		}(w)
 	}
 	wg.Wait()
-	if deadlocked.Load() {
+	if watcherStop != nil {
+		close(watcherStop)
+	}
+	switch status.Load() {
+	case runBlocked:
 		return nil, ErrStaticDeadlock
+	case runCancelled:
+		return nil, cfg.Ctx.Err()
+	case runPanicked:
+		return nil, panicErr
 	}
 	for _, u := range stats.UpdatesPerWorker {
 		stats.TotalUpdates += u

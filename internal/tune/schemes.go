@@ -1,6 +1,7 @@
 package tune
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -41,8 +42,10 @@ func (w Workload) problem() *tiling.Problem {
 	}
 }
 
-// measureScheme executes one tiling for real and returns Gupdates/s.
-func measureScheme(w Workload, sch tiling.Scheme) (float64, error) {
+// measureScheme executes one tiling for real and returns Gupdates/s. The
+// context bounds the execution: an expired candidate budget cancels the
+// engine run mid-tiling.
+func measureScheme(ctx context.Context, w Workload, sch tiling.Scheme) (float64, error) {
 	p := w.problem()
 	sch.Distribute(p)
 	tiles, err := sch.Tiles(p)
@@ -54,6 +57,7 @@ func measureScheme(w Workload, sch tiling.Scheme) (float64, error) {
 	stats, err := engine.Run(tiles, engine.Config{
 		Workers: p.Workers,
 		Order:   1,
+		Ctx:     ctx,
 		Exec: func(wk int, tile *spacetime.Tile) int64 {
 			var n int64
 			for ts := tile.T0; ts < tile.T1(); ts++ {
@@ -106,29 +110,29 @@ func SpaceFor(scheme string, w Workload) (Space, error) {
 func MeasureFor(scheme string, w Workload) (Measure, error) {
 	switch scheme {
 	case "nuCORALS":
-		return func(s Setting) (float64, error) {
-			return measureScheme(w, &nucorals.Scheme{Params: nucorals.Params{
+		return func(ctx context.Context, s Setting) (float64, error) {
+			return measureScheme(ctx, w, &nucorals.Scheme{Params: nucorals.Params{
 				BaseHeight:     s["baseHeight"],
 				BaseExtent:     s["baseExtent"],
 				BaseUnitExtent: s["baseUnit"],
 			}})
 		}, nil
 	case "nuCATS":
-		return func(s Setting) (float64, error) {
-			return measureScheme(w, &nucats.Scheme{Params: cats.Params{
+		return func(ctx context.Context, s Setting) (float64, error) {
+			return measureScheme(ctx, w, &nucats.Scheme{Params: cats.Params{
 				SegmentHeight: s["segment"],
 			}})
 		}, nil
 	case "CATS":
-		return func(s Setting) (float64, error) {
-			return measureScheme(w, &cats.Scheme{Params: cats.Params{
+		return func(ctx context.Context, s Setting) (float64, error) {
+			return measureScheme(ctx, w, &cats.Scheme{Params: cats.Params{
 				SegmentHeight: s["segment"],
 				WidthOverride: s["width"],
 			}})
 		}, nil
 	case "PLuTo":
-		return func(s Setting) (float64, error) {
-			return measureScheme(w, &diamond.Scheme{Params: diamond.Params{
+		return func(ctx context.Context, s Setting) (float64, error) {
+			return measureScheme(ctx, w, &diamond.Scheme{Params: diamond.Params{
 				TimeBlock: s["timeBlock"],
 				Width:     s["width"],
 			}})

@@ -7,6 +7,7 @@
 package tune
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -49,8 +50,11 @@ func (r Result) String() string {
 	return fmt.Sprintf("%v: %.4f Gupdates/s", r.Setting, r.Gupdates)
 }
 
-// Measure runs one candidate and returns its rate in Gupdates/s.
-type Measure func(Setting) (float64, error)
+// Measure runs one candidate and returns its rate in Gupdates/s. The
+// context carries the candidate's budget: a measurement that honors it
+// (all engine-backed measurements do) is aborted when the budget expires,
+// turning a pathological candidate into an error result instead of a hang.
+type Measure func(ctx context.Context, s Setting) (float64, error)
 
 // Options control the search.
 type Options struct {
@@ -59,11 +63,22 @@ type Options struct {
 	// Budget bounds the total search time; once exceeded, remaining
 	// candidates are skipped (0 = unlimited).
 	Budget time.Duration
+	// CandidateBudget bounds each candidate's wall-clock time across all of
+	// its repeats, enforced through the Measure context: a candidate whose
+	// parameters produce a degenerate tiling (or that deadlocks the host)
+	// is cancelled and ranked last instead of hanging the whole sweep
+	// (0 = unlimited).
+	CandidateBudget time.Duration
 }
 
 // GridSearch measures every setting of the space and returns results
-// sorted best first. Skipped candidates (budget exhausted) are omitted.
-func GridSearch(space Space, measure Measure, opts Options) []Result {
+// sorted best first. Skipped candidates (budget exhausted or ctx
+// cancelled) are omitted; candidates cancelled mid-measurement by their
+// CandidateBudget appear as error results ranked last.
+func GridSearch(ctx context.Context, space Space, measure Measure, opts Options) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	repeats := opts.Repeats
 	if repeats <= 0 {
 		repeats = 3
@@ -71,6 +86,9 @@ func GridSearch(space Space, measure Measure, opts Options) []Result {
 	start := time.Now()
 	var out []Result
 	enumerate(space, Setting{}, 0, func(s Setting) bool {
+		if ctx.Err() != nil {
+			return false
+		}
 		if opts.Budget > 0 && time.Since(start) > opts.Budget {
 			return false
 		}
@@ -79,10 +97,14 @@ func GridSearch(space Space, measure Measure, opts Options) []Result {
 		for k, v := range s {
 			setting[k] = v
 		}
+		cctx, cancel := ctx, func() {}
+		if opts.CandidateBudget > 0 {
+			cctx, cancel = context.WithTimeout(ctx, opts.CandidateBudget)
+		}
 		best := 0.0
 		var err error
 		for r := 0; r < repeats; r++ {
-			g, e := measure(setting)
+			g, e := measure(cctx, setting)
 			if e != nil {
 				err = e
 				break
@@ -91,6 +113,7 @@ func GridSearch(space Space, measure Measure, opts Options) []Result {
 				best = g
 			}
 		}
+		cancel()
 		out = append(out, Result{Setting: setting, Gupdates: best, Err: err})
 		return true
 	})

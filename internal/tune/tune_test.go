@@ -1,6 +1,7 @@
 package tune
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -15,7 +16,7 @@ func TestSpaceSizeAndEnumeration(t *testing.T) {
 		t.Fatalf("Size = %d", space.Size())
 	}
 	seen := map[[2]int]bool{}
-	results := GridSearch(space, func(s Setting) (float64, error) {
+	results := GridSearch(context.Background(), space, func(_ context.Context, s Setting) (float64, error) {
 		seen[[2]int{s["a"], s["b"]}] = true
 		return float64(s["a"]*100 + s["b"]), nil
 	}, Options{Repeats: 1})
@@ -35,8 +36,8 @@ func TestSpaceSizeAndEnumeration(t *testing.T) {
 
 func TestGridSearchBestOfRepeats(t *testing.T) {
 	calls := 0
-	results := GridSearch(Space{{Name: "x", Values: []int{1}}},
-		func(Setting) (float64, error) {
+	results := GridSearch(context.Background(), Space{{Name: "x", Values: []int{1}}},
+		func(context.Context, Setting) (float64, error) {
 			calls++
 			return float64(calls), nil // improves each repeat
 		}, Options{Repeats: 4})
@@ -49,8 +50,8 @@ func TestGridSearchBestOfRepeats(t *testing.T) {
 }
 
 func TestGridSearchErrorsRankLast(t *testing.T) {
-	results := GridSearch(Space{{Name: "x", Values: []int{1, 2, 3}}},
-		func(s Setting) (float64, error) {
+	results := GridSearch(context.Background(), Space{{Name: "x", Values: []int{1, 2, 3}}},
+		func(_ context.Context, s Setting) (float64, error) {
 			if s["x"] == 2 {
 				return 0, errors.New("boom")
 			}
@@ -65,8 +66,8 @@ func TestGridSearchErrorsRankLast(t *testing.T) {
 }
 
 func TestGridSearchBudget(t *testing.T) {
-	results := GridSearch(Space{{Name: "x", Values: []int{1, 2, 3, 4, 5}}},
-		func(Setting) (float64, error) {
+	results := GridSearch(context.Background(), Space{{Name: "x", Values: []int{1, 2, 3, 4, 5}}},
+		func(context.Context, Setting) (float64, error) {
 			time.Sleep(20 * time.Millisecond)
 			return 1, nil
 		}, Options{Repeats: 1, Budget: 30 * time.Millisecond})
@@ -75,6 +76,52 @@ func TestGridSearchBudget(t *testing.T) {
 	}
 	if len(results) == 0 {
 		t.Error("budget killed everything")
+	}
+}
+
+// A candidate whose measurement never returns on its own must be cancelled
+// by its per-candidate budget: the sweep finishes, the hung candidate
+// surfaces as an error result ranked last, and the good candidates are
+// still measured.
+func TestGridSearchCandidateBudgetUnhangsSweep(t *testing.T) {
+	start := time.Now()
+	results := GridSearch(context.Background(), Space{{Name: "x", Values: []int{1, 2, 3}}},
+		func(ctx context.Context, s Setting) (float64, error) {
+			if s["x"] == 2 { // pathological candidate: blocks until cancelled
+				<-ctx.Done()
+				return 0, ctx.Err()
+			}
+			return float64(s["x"]), nil
+		}, Options{Repeats: 2, CandidateBudget: 50 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("sweep took %v, candidate budget did not bound the hang", elapsed)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	last := results[len(results)-1]
+	if last.Setting["x"] != 2 || !errors.Is(last.Err, context.DeadlineExceeded) {
+		t.Errorf("hung candidate = %+v, want x=2 with deadline error", last)
+	}
+	if results[0].Err != nil || results[0].Gupdates != 3 {
+		t.Errorf("best = %+v, want x=3 measured normally", results[0])
+	}
+}
+
+// Cancelling the sweep context skips the remaining candidates outright.
+func TestGridSearchSweepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	results := GridSearch(ctx, Space{{Name: "x", Values: []int{1, 2, 3, 4}}},
+		func(context.Context, Setting) (float64, error) {
+			calls++
+			if calls == 2 {
+				cancel()
+			}
+			return 1, nil
+		}, Options{Repeats: 1})
+	if calls != 2 || len(results) != 2 {
+		t.Errorf("calls=%d results=%d, want the sweep to stop after the cancel", calls, len(results))
 	}
 }
 
@@ -94,7 +141,7 @@ func TestSchemeSpacesAndMeasurement(t *testing.T) {
 		for _, p := range space {
 			s[p.Name] = p.Values[0]
 		}
-		g, err := measure(s)
+		g, err := measure(context.Background(), s)
 		if err != nil || g <= 0 {
 			t.Errorf("%s measurement: %v Gup/s, %v", scheme, g, err)
 		}
@@ -104,5 +151,17 @@ func TestSchemeSpacesAndMeasurement(t *testing.T) {
 	}
 	if _, err := MeasureFor("bogus", w); err == nil {
 		t.Error("unknown scheme measure accepted")
+	}
+	// An expired candidate context must abort a real measurement instead of
+	// running it to completion.
+	measure, err := MeasureFor("nuCORALS", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := Setting{"baseHeight": 4, "baseExtent": 16, "baseUnit": 64}
+	if _, err := measure(ctx, s); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled measurement returned %v, want context.Canceled", err)
 	}
 }

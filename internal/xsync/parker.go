@@ -14,6 +14,13 @@ import (
 //
 // Exactly one goroutine (the owner) may call Park; any goroutine may call
 // Unpark. The zero value is ready to use.
+//
+// The token semantics also make Parker safe as a cancellation doorbell: a
+// canceller that publishes a stop flag and then Unparks every worker's
+// Parker cannot lose the race against a worker that checked the flag and is
+// about to park — the Unpark arms that worker's next Park, which returns
+// immediately, and the worker re-checks the flag. The engine's
+// Unpark-on-cancel broadcast relies on exactly this (see engine.Config.Ctx).
 type Parker struct {
 	// state holds one of parkerIdle, parkerNotified, parkerParked. Only the
 	// owner transitions out of parkerNotified and into parkerParked.

@@ -89,6 +89,40 @@ func TestParkerPingPong(t *testing.T) {
 	}
 }
 
+// Cancellation doorbell, the engine's Unpark-on-cancel broadcast: workers
+// loop "check stop flag, park"; a canceller publishes the flag and then
+// Unparks every Parker once. No worker may stay parked, whatever point of
+// the check/park window the cancel lands in — the token semantics close
+// the lost-wakeup race.
+func TestParkerCancelBroadcastWakesAll(t *testing.T) {
+	const workers = 16
+	for trial := 0; trial < 50; trial++ {
+		parkers := make([]Parker, workers)
+		var stop atomic.Bool
+		done := make(chan int, workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				for !stop.Load() {
+					parkers[w].Park(2)
+				}
+				done <- w
+			}(w)
+		}
+		stop.Store(true)
+		for w := range parkers {
+			parkers[w].Unpark()
+		}
+		deadline := time.After(5 * time.Second)
+		for i := 0; i < workers; i++ {
+			select {
+			case <-done:
+			case <-deadline:
+				t.Fatalf("trial %d: only %d/%d workers woke on the cancel broadcast", trial, i, workers)
+			}
+		}
+	}
+}
+
 // Many concurrent unparkers, one owner: the owner polls a counter and parks
 // between checks. Every Add precedes an Unpark, so after consuming the final
 // token the final count is visible — the loop can never park forever.

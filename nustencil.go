@@ -1,8 +1,10 @@
 package nustencil
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"time"
 
@@ -168,6 +170,15 @@ type plan struct {
 	deps  [][]int
 }
 
+// ErrPoisoned is returned (wrapped, with the original cause) by every
+// state-reading or state-advancing method of a Solver whose last run failed
+// mid-plan. Temporal blocking mutates both double buffers while a plan
+// executes, so a run that stops early — a cancelled context, a panicking
+// kernel, an illegal tiling — leaves no consistent timestep to roll back
+// to; the solver instead refuses further use until Import or Load installs
+// a known-good state. Test with errors.Is(err, ErrPoisoned).
+var ErrPoisoned = errors.New("nustencil: solver state poisoned by a failed run (restore with Import or Load)")
+
 // Solver executes iterative stencil computations on one grid.
 type Solver struct {
 	cfg    Config
@@ -178,6 +189,24 @@ type Solver struct {
 	scheme tiling.Scheme
 	steps  int // timesteps already run, for buffer parity
 	plans  map[int]*plan
+	// poison records the error that interrupted a run mid-plan, leaving the
+	// double buffers inconsistent. Non-nil blocks Run/Value/Export/Save
+	// until Import or Load restores a consistent state.
+	poison error
+	// execWrap, when non-nil, wraps the per-tile Exec before it reaches the
+	// engine — the fault-injection seam tests use to prove panic isolation
+	// and poisoning through the public API.
+	execWrap func(engine.Exec) engine.Exec
+}
+
+// Err reports the solver's poison state: nil while the grid state is
+// consistent, otherwise an error wrapping ErrPoisoned together with the
+// failure that caused it.
+func (s *Solver) Err() error {
+	if s.poison == nil {
+		return nil
+	}
+	return fmt.Errorf("%w (cause: %v)", ErrPoisoned, s.poison)
 }
 
 // NewSolver validates the configuration and allocates the grid (both
@@ -254,7 +283,14 @@ func (s *Solver) SetSource(f func(pt []int) float64) {
 }
 
 // Value returns the current value at pt (after any completed Run calls).
-func (s *Solver) Value(pt []int) float64 { return s.g.At(s.steps, pt) }
+// On a poisoned solver (see ErrPoisoned) it returns NaN rather than a
+// half-updated value.
+func (s *Solver) Value(pt []int) float64 {
+	if s.poison != nil {
+		return math.NaN()
+	}
+	return s.g.At(s.steps, pt)
+}
 
 // Len returns the number of grid cells (one buffer).
 func (s *Solver) Len() int { return s.g.Len() }
@@ -264,7 +300,11 @@ func (s *Solver) Len() int { return s.g.Len() }
 // reallocated. Export and Import let applications build transfer operators
 // — restriction and prolongation for a multigrid smoother, checkpointing —
 // without going through per-point Value calls.
+// Export refuses a poisoned solver (see ErrPoisoned) by returning nil.
 func (s *Solver) Export(dst []float64) []float64 {
+	if s.poison != nil {
+		return nil
+	}
 	if len(dst) < s.g.Len() {
 		dst = make([]float64, s.g.Len())
 	}
@@ -274,13 +314,15 @@ func (s *Solver) Export(dst []float64) []float64 {
 
 // Import replaces the current state (both buffers, so the fixed boundary is
 // consistent for the next Run) with src, which must hold exactly Len flat
-// row-major values.
+// row-major values. Because it rewrites both buffers wholesale, Import
+// restores a poisoned solver (see ErrPoisoned) to a usable state.
 func (s *Solver) Import(src []float64) error {
 	if len(src) != s.g.Len() {
 		return fmt.Errorf("nustencil: Import needs %d values, got %d", s.g.Len(), len(src))
 	}
 	copy(s.g.Buf(0), src)
 	copy(s.g.Buf(1), src)
+	s.poison = nil
 	return nil
 }
 
@@ -292,14 +334,29 @@ func (s *Solver) StencilDescription() string { return s.st.String() }
 
 // Run advances the grid by Config.Timesteps iterations using the configured
 // scheme and returns the execution report. Run may be called repeatedly;
-// each call continues from the current state.
+// each call continues from the current state. If a run fails mid-plan —
+// cancellation, a panicking kernel — the solver is poisoned (see
+// ErrPoisoned) until Import or Load restores a consistent state.
 func (s *Solver) Run() (Report, error) {
 	return s.RunSteps(s.cfg.Timesteps)
 }
 
+// RunContext is Run bounded by ctx: when ctx is cancelled or its deadline
+// passes, the engine stops within roughly one tile execution and the error
+// is ctx.Err(). The interrupted solver is poisoned (see ErrPoisoned).
+func (s *Solver) RunContext(ctx context.Context) (Report, error) {
+	return s.RunStepsContext(ctx, s.cfg.Timesteps)
+}
+
 // RunSteps advances the grid by an explicit number of timesteps.
 func (s *Solver) RunSteps(timesteps int) (Report, error) {
-	rep, _, err := s.runSteps(timesteps, false, 0)
+	rep, _, err := s.runSteps(nil, timesteps, false, 0)
+	return rep, err
+}
+
+// RunStepsContext is RunSteps bounded by ctx (see RunContext).
+func (s *Solver) RunStepsContext(ctx context.Context, timesteps int) (Report, error) {
+	rep, _, err := s.runSteps(ctx, timesteps, false, 0)
 	return rep, err
 }
 
@@ -308,16 +365,32 @@ func (s *Solver) RunSteps(timesteps int) (Report, error) {
 // per-worker utilization — the observability view of how a scheme
 // schedules.
 func (s *Solver) RunStepsTraced(timesteps, width int) (Report, string, error) {
-	return s.runSteps(timesteps, true, width)
+	return s.runSteps(nil, timesteps, true, width)
 }
 
-func (s *Solver) runSteps(timesteps int, traced bool, width int) (Report, string, error) {
+// RunStepsTracedContext is RunStepsTraced bounded by ctx (see RunContext).
+func (s *Solver) RunStepsTracedContext(ctx context.Context, timesteps, width int) (Report, string, error) {
+	return s.runSteps(ctx, timesteps, true, width)
+}
+
+// runSteps executes one plan. A nil ctx means no cancellation (and costs
+// nothing on the hot path). Every error return carries a report holding
+// only the identity fields (Scheme, Workers, Timesteps, FlopsPerUpdate):
+// timing and update counts from a failed run would be meaningless — a
+// caller computing Gupdates on the error path must see zero, not a rate.
+func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool, width int) (Report, string, error) {
 	cfg := s.cfg
 	rep := Report{
 		Scheme:         cfg.Scheme,
 		Workers:        cfg.Workers,
 		Timesteps:      timesteps,
 		FlopsPerUpdate: s.st.FlopsPerUpdate(),
+	}
+	if err := s.Err(); err != nil {
+		return rep, "", err
+	}
+	if timesteps < 0 {
+		return rep, "", fmt.Errorf("nustencil: negative timesteps %d", timesteps)
 	}
 	if timesteps == 0 {
 		rep.UpdatesPerWorker = make([]int64, cfg.Workers)
@@ -361,12 +434,15 @@ func (s *Solver) runSteps(timesteps int, traced bool, width int) (Report, string
 	op.SetSource(s.source)
 	op.SetPeriodic(cfg.Periodic)
 	base := s.steps
-	exec := func(w int, tile *spacetime.Tile) int64 {
+	var exec engine.Exec = func(w int, tile *spacetime.Tile) int64 {
 		var n int64
 		for _, sb := range tiling.TraverseOrDefault(s.scheme, tile, cfg.Order) {
 			n += op.ApplyBox(sb.Box, base+sb.T)
 		}
 		return n
+	}
+	if s.execWrap != nil {
+		exec = s.execWrap(exec)
 	}
 	var tr *trace.Trace
 	if traced {
@@ -391,11 +467,16 @@ func (s *Solver) runSteps(timesteps int, traced bool, width int) (Report, string
 		Deps:    pl.deps,
 		Pin:     cfg.PinThreads,
 		Exec:    exec,
+		Ctx:     ctx,
 	})
-	rep.Seconds = time.Since(start).Seconds()
 	if err != nil {
+		// The engine stopped mid-plan: the double buffers may disagree and
+		// s.steps no longer names a consistent timestep. Poison the solver —
+		// the report keeps only its identity fields.
+		s.poison = err
 		return rep, "", err
 	}
+	rep.Seconds = time.Since(start).Seconds()
 	s.steps += timesteps
 	rep.Updates = stats.TotalUpdates
 	rep.Tiles = len(tiles)
