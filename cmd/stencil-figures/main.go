@@ -5,12 +5,16 @@
 //	stencil-figures -all          # everything: Table I, Fig 3..22
 //	stencil-figures -fig fig22    # one figure
 //	stencil-figures -fig table1   # the hardware table
+//	stencil-figures -fig fig22 -json -        # one figure as a JSON series on stdout
+//	stencil-figures -all -json out.json       # every figure as one JSON doc
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"nustencil"
 )
@@ -23,6 +27,7 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	list := flag.Bool("list", false, "list available figure ids")
 	csv := flag.Bool("csv", false, "emit CSV instead of the text table (with -fig)")
+	jsonOut := flag.String("json", "", "emit JSON series instead of text; optional output path argument (\"\" disabled, \"-\" stdout)")
 	attr := flag.Bool("attribution", false, "show the cost model's bottleneck attribution (with -fig)")
 	flag.Parse()
 
@@ -32,6 +37,10 @@ func main() {
 		for _, id := range nustencil.FigureIDs() {
 			fmt.Println(id)
 		}
+	case *all && *jsonOut != "":
+		if err := writeAllJSON(*jsonOut); err != nil {
+			log.Fatal(err)
+		}
 	case *all:
 		fmt.Println(nustencil.RenderTableI())
 		for _, id := range nustencil.FigureIDs() {
@@ -40,6 +49,14 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Println(out)
+		}
+	case *fig != "" && *jsonOut != "":
+		out, err := nustencil.RenderFigureJSON(*fig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeTo(*jsonOut, out+"\n"); err != nil {
+			log.Fatal(err)
 		}
 	case *fig == "table1":
 		fmt.Println(nustencil.RenderTableI())
@@ -64,4 +81,31 @@ func main() {
 	default:
 		flag.Usage()
 	}
+}
+
+// writeTo writes s to path, or to stdout when path is "-".
+func writeTo(path, s string) error {
+	if path == "-" {
+		_, err := os.Stdout.WriteString(s)
+		return err
+	}
+	return os.WriteFile(path, []byte(s), 0o644)
+}
+
+// writeAllJSON regenerates every figure as one JSON document keyed by
+// figure id, the format scripts track the modeled perf trajectory with.
+func writeAllJSON(path string) error {
+	figs := make(map[string]json.RawMessage)
+	for _, id := range nustencil.FigureIDs() {
+		out, err := nustencil.RenderFigureJSON(id)
+		if err != nil {
+			return err
+		}
+		figs[id] = json.RawMessage(out)
+	}
+	doc, err := json.MarshalIndent(map[string]any{"figures": figs}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeTo(path, string(doc)+"\n")
 }

@@ -4,12 +4,19 @@
 // Example:
 //
 //	stencil-run -scheme nuCORALS -dims 130x130x130 -steps 50 -workers 8
+//
+// Machine-readable output: -json <path> writes the run report (rates,
+// per-worker updates, scheduler counters) as JSON, and -trace-json <path>
+// writes the execution timeline in Chrome trace-event format, loadable in
+// Perfetto or chrome://tracing.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
@@ -22,21 +29,42 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("stencil-run: ")
+	if err := realMain(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	scheme := flag.String("scheme", "nuCORALS", "tiling scheme: NaiveSSE, CATS, nuCATS, CORALS, nuCORALS, Pochoir, PLuTo")
-	dims := flag.String("dims", "130x130x130", "grid dimensions, e.g. 130x130x130 (boundary included)")
-	steps := flag.Int("steps", 50, "Jacobi timesteps")
-	workers := flag.Int("workers", 0, "worker threads (default NumCPU)")
-	order := flag.Int("order", 1, "stencil order s")
-	banded := flag.Bool("banded", false, "variable coefficients (banded matrix)")
-	nodes := flag.Int("nodes", 1, "modeled NUMA nodes for page-ownership accounting")
-	llc := flag.Int64("llc", 1<<20, "last-level cache bytes per worker (cache-aware schemes)")
-	pin := flag.Bool("pin", false, "best-effort pin worker threads to CPUs (Linux)")
-	verify := flag.Bool("verify", false, "cross-check the result against the naive scheme")
-	traceW := flag.Int("trace", 0, "render an execution timeline this many columns wide")
-	periodic := flag.Bool("periodic", false, "periodic (torus) boundaries; implies the naive scheme")
-	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock budget, e.g. 30s (0 = none)")
-	flag.Parse()
+// runDoc is the envelope stencil-run -json writes: the configuration the
+// run executed with, the report, and (when tracing was on) the trace
+// digest.
+type runDoc struct {
+	Dims         []int                   `json:"dims"`
+	Periodic     bool                    `json:"periodic,omitempty"`
+	Pinned       bool                    `json:"pinned,omitempty"`
+	Report       nustencil.Report        `json:"report"`
+	TraceSummary *nustencil.TraceSummary `json:"trace_summary,omitempty"`
+}
+
+func realMain(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("stencil-run", flag.ContinueOnError)
+	scheme := fs.String("scheme", "nuCORALS", "tiling scheme: NaiveSSE, CATS, nuCATS, CORALS, nuCORALS, Pochoir, PLuTo")
+	dims := fs.String("dims", "130x130x130", "grid dimensions, e.g. 130x130x130 (boundary included)")
+	steps := fs.Int("steps", 50, "Jacobi timesteps")
+	workers := fs.Int("workers", 0, "worker threads (default NumCPU)")
+	order := fs.Int("order", 1, "stencil order s")
+	banded := fs.Bool("banded", false, "variable coefficients (banded matrix)")
+	nodes := fs.Int("nodes", 1, "modeled NUMA nodes for page-ownership accounting")
+	llc := fs.Int64("llc", 1<<20, "last-level cache bytes per worker (cache-aware schemes)")
+	pin := fs.Bool("pin", false, "best-effort pin worker threads to CPUs (Linux)")
+	verify := fs.Bool("verify", false, "cross-check the result against the naive scheme")
+	traceW := fs.Int("trace", 0, "render an execution timeline this many columns wide")
+	periodic := fs.Bool("periodic", false, "periodic (torus) boundaries; implies the naive scheme")
+	timeout := fs.Duration("timeout", 0, "abort the run after this wall-clock budget, e.g. 30s (0 = none)")
+	jsonPath := fs.String("json", "", "write the run report as JSON to this path (- for stdout)")
+	traceJSONPath := fs.String("trace-json", "", "write the execution timeline as Chrome trace-event JSON to this path (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -47,7 +75,7 @@ func main() {
 
 	d, err := cliutil.ParseDims(*dims)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cfg := nustencil.Config{
 		Dims:              d,
@@ -64,43 +92,80 @@ func main() {
 	if *periodic {
 		cfg.Scheme = nustencil.Naive
 	}
-	rep, probe, timeline, err := run(ctx, cfg, *traceW)
+	traced := *traceW > 0 || *traceJSONPath != ""
+	rep, probe, tr, err := run(ctx, cfg, traced)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("scheme     %s\n", rep.Scheme)
-	fmt.Printf("domain     %s, %d timesteps, order %d, banded=%v\n", *dims, *steps, *order, *banded)
-	fmt.Printf("workers    %d\n", rep.Workers)
-	fmt.Printf("tiles      %d\n", rep.Tiles)
-	fmt.Printf("updates    %d\n", rep.Updates)
-	fmt.Printf("time       %.4f s\n", rep.Seconds)
-	fmt.Printf("rate       %.4f Gupdates/s (%.2f GFLOPS at %d flops/update)\n",
+	fmt.Fprintf(stdout, "scheme     %s\n", rep.Scheme)
+	fmt.Fprintf(stdout, "domain     %s, %d timesteps, order %d, banded=%v\n", *dims, *steps, *order, *banded)
+	fmt.Fprintf(stdout, "workers    %d\n", rep.Workers)
+	fmt.Fprintf(stdout, "tiles      %d\n", rep.Tiles)
+	fmt.Fprintf(stdout, "updates    %d\n", rep.Updates)
+	fmt.Fprintf(stdout, "time       %.4f s\n", rep.Seconds)
+	fmt.Fprintf(stdout, "rate       %.4f Gupdates/s (%.2f GFLOPS at %d flops/update)\n",
 		rep.Gupdates(), rep.GFLOPS(), rep.FlopsPerUpdate)
 	if rep.Imbalance > 0 {
-		fmt.Printf("imbalance  %.2f (max/mean worker busy time)\n", rep.Imbalance)
+		fmt.Fprintf(stdout, "imbalance  %.2f (max/mean worker busy time)\n", rep.Imbalance)
 	}
-	if timeline != "" {
-		fmt.Print(timeline)
+	if *traceW > 0 && tr != nil {
+		fmt.Fprint(stdout, tr.Timeline(*traceW))
+	}
+
+	if *traceJSONPath != "" && tr != nil {
+		if err := writeOut(*traceJSONPath, stdout, tr.WriteChromeTrace); err != nil {
+			return fmt.Errorf("write trace JSON: %w", err)
+		}
+	}
+	if *jsonPath != "" {
+		doc := runDoc{Dims: d, Periodic: *periodic, Pinned: *pin, Report: rep}
+		if tr != nil {
+			s := tr.Summary()
+			doc.TraceSummary = &s
+		}
+		if err := writeOut(*jsonPath, stdout, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(doc)
+		}); err != nil {
+			return fmt.Errorf("write report JSON: %w", err)
+		}
 	}
 
 	if *verify {
 		cfg.Scheme = nustencil.Naive
-		_, want, _, err := run(ctx, cfg, 0)
+		_, want, _, err := run(ctx, cfg, false)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if math.Abs(probe-want) != 0 {
-			fmt.Fprintf(os.Stderr, "VERIFY FAILED: probe %v vs naive %v\n", probe, want)
-			os.Exit(1)
+			return fmt.Errorf("VERIFY FAILED: probe %v vs naive %v", probe, want)
 		}
-		fmt.Println("verify     OK (bit-identical to the naive scheme)")
+		fmt.Fprintln(stdout, "verify     OK (bit-identical to the naive scheme)")
 	}
+	return nil
 }
 
-func run(ctx context.Context, cfg nustencil.Config, traceW int) (nustencil.Report, float64, string, error) {
+// writeOut streams f to path, or to stdout when path is "-".
+func writeOut(path string, stdout io.Writer, f func(io.Writer) error) error {
+	if path == "-" {
+		return f(stdout)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+func run(ctx context.Context, cfg nustencil.Config, traced bool) (nustencil.Report, float64, *nustencil.Trace, error) {
 	s, err := nustencil.NewSolver(cfg)
 	if err != nil {
-		return nustencil.Report{}, 0, "", err
+		return nustencil.Report{}, 0, nil, err
 	}
 	// A reproducible, spatially varying initial condition.
 	s.SetInitial(func(pt []int) float64 {
@@ -118,22 +183,22 @@ func run(ctx context.Context, cfg nustencil.Config, traceW int) (nustencil.Repor
 			}
 			return 0.5 / float64(np-1)
 		}); err != nil {
-			return nustencil.Report{}, 0, "", err
+			return nustencil.Report{}, 0, nil, err
 		}
 	}
 	var rep nustencil.Report
-	timeline := ""
-	if traceW > 0 {
-		rep, timeline, err = s.RunStepsTracedContext(ctx, cfg.Timesteps, traceW)
+	var tr *nustencil.Trace
+	if traced {
+		rep, tr, err = s.RunStepsTraceContext(ctx, cfg.Timesteps)
 	} else {
 		rep, err = s.RunContext(ctx)
 	}
 	if err != nil {
-		return rep, 0, "", err
+		return rep, 0, nil, err
 	}
 	probe := make([]int, len(cfg.Dims))
 	for k := range probe {
 		probe[k] = cfg.Dims[k] / 2
 	}
-	return rep, s.Value(probe), timeline, nil
+	return rep, s.Value(probe), tr, nil
 }

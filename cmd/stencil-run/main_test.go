@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunJSONExport drives the tool end to end on a small 7-point/4-worker
+// problem and checks both machine-readable outputs: the report JSON and the
+// Chrome trace-event JSON.
+func TestRunJSONExport(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	err := realMain([]string{
+		"-scheme", "nuCORALS", "-dims", "34x34x34", "-steps", "8",
+		"-workers", "4", "-json", jsonPath, "-trace-json", tracePath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Gupdates/s") {
+		t.Errorf("text output missing rate:\n%s", out.String())
+	}
+
+	// Report JSON: valid, with the derived rate and per-worker counters.
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Dims   []int `json:"dims"`
+		Report struct {
+			Scheme    string  `json:"scheme"`
+			Workers   int     `json:"workers"`
+			Tiles     int     `json:"tiles"`
+			Updates   int64   `json:"updates"`
+			Gupdates  float64 `json:"gupdates_per_s"`
+			Scheduler []struct {
+				OwnPops    int64 `json:"own_pops"`
+				SharedPops int64 `json:"shared_pops"`
+			} `json:"scheduler"`
+		} `json:"report"`
+		TraceSummary *struct {
+			Tiles     int     `json:"tiles"`
+			Imbalance float64 `json:"imbalance"`
+			PerWorker []struct {
+				Utilization float64 `json:"utilization"`
+			} `json:"per_worker"`
+		} `json:"trace_summary"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("report JSON invalid: %v\n%s", err, raw)
+	}
+	if doc.Report.Scheme != "nuCORALS" || doc.Report.Workers != 4 {
+		t.Errorf("report identity wrong: %+v", doc.Report)
+	}
+	if doc.Report.Updates <= 0 || doc.Report.Gupdates <= 0 {
+		t.Errorf("report has no rate: updates=%d gupdates=%v", doc.Report.Updates, doc.Report.Gupdates)
+	}
+	if len(doc.Report.Scheduler) != 4 {
+		t.Fatalf("scheduler counters = %d entries, want 4", len(doc.Report.Scheduler))
+	}
+	var pops int64
+	for _, sc := range doc.Report.Scheduler {
+		pops += sc.OwnPops + sc.SharedPops
+	}
+	if pops != int64(doc.Report.Tiles) {
+		t.Errorf("queue pops %d != tiles %d", pops, doc.Report.Tiles)
+	}
+	if doc.TraceSummary == nil {
+		t.Fatal("trace_summary missing from report JSON")
+	}
+	if doc.TraceSummary.Tiles != doc.Report.Tiles {
+		t.Errorf("trace summary tiles %d != report tiles %d", doc.TraceSummary.Tiles, doc.Report.Tiles)
+	}
+	if len(doc.TraceSummary.PerWorker) != 4 {
+		t.Errorf("trace summary workers = %d, want 4", len(doc.TraceSummary.PerWorker))
+	}
+
+	// Chrome trace: valid JSON, one complete event per executed tile,
+	// monotone timestamps.
+	raw, err = os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &ct); err != nil {
+		t.Fatalf("chrome trace invalid JSON: %v", err)
+	}
+	complete := 0
+	lastTs := -1.0
+	for _, e := range ct.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		complete++
+		if e.Ts < lastTs {
+			t.Errorf("timestamps not monotone: %v after %v", e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+		if _, ok := e.Args["tile"]; !ok {
+			t.Error("complete event missing tile arg")
+		}
+	}
+	if complete != doc.Report.Tiles {
+		t.Errorf("chrome trace has %d complete events, want one per tile (%d)", complete, doc.Report.Tiles)
+	}
+}
+
+// TestRunJSONStdout checks the "-" path sends JSON to standard output.
+func TestRunJSONStdout(t *testing.T) {
+	var out bytes.Buffer
+	err := realMain([]string{
+		"-dims", "20x20x20", "-steps", "4", "-workers", "2", "-json", "-",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	i := strings.Index(s, "{")
+	if i < 0 {
+		t.Fatalf("no JSON in output:\n%s", s)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(s[i:]), &doc); err != nil {
+		t.Fatalf("stdout JSON invalid: %v\n%s", err, s[i:])
+	}
+	if _, ok := doc["report"]; !ok {
+		t.Error("stdout JSON missing report")
+	}
+}

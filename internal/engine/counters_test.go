@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"testing"
+
+	"nustencil/internal/grid"
+	"nustencil/internal/spacetime"
+)
+
+// TestSchedCounters checks the per-worker scheduler counters against the
+// invariants the scheduler guarantees: every executed tile was popped from
+// exactly one queue, pops split between owned and shared queues according
+// to tile ownership, every park was preceded by an empty poll, and owned
+// publishes issue exactly one wakeup each.
+func TestSchedCounters(t *testing.T) {
+	interior := grid.NewBox([]int{0}, []int{80})
+	for name, owners := range map[string][]int{
+		"owned":  {0, 1, 0, 1},
+		"shared": {-1, -1, -1, -1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			tiles := sliceTiling(interior, 6, []int{20, 40, 60}, owners)
+			stats, err := Run(tiles, Config{
+				Workers: 2,
+				Order:   1,
+				Exec:    func(int, *spacetime.Tile) int64 { return 1 },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(stats.Sched) != 2 {
+				t.Fatalf("Sched len = %d, want one entry per worker", len(stats.Sched))
+			}
+			var own, shared, parks, empty, tilesRun int64
+			for w, sc := range stats.Sched {
+				own += sc.OwnPops
+				shared += sc.SharedPops
+				parks += sc.Parks
+				empty += sc.EmptyPolls
+				tilesRun += stats.TilesPerWorker[w]
+				if sc.Parks > sc.EmptyPolls {
+					t.Errorf("worker %d: parks %d > empty polls %d", w, sc.Parks, sc.EmptyPolls)
+				}
+			}
+			if tilesRun != int64(len(tiles)) {
+				t.Fatalf("tiles executed = %d, want %d", tilesRun, len(tiles))
+			}
+			if own+shared != int64(len(tiles)) {
+				t.Errorf("own pops %d + shared pops %d != tiles %d", own, shared, len(tiles))
+			}
+			if name == "owned" && shared != 0 {
+				t.Errorf("fully-owned tiling popped %d tiles from the shared queue", shared)
+			}
+			if name == "shared" && own != 0 {
+				t.Errorf("ownerless tiling popped %d tiles from owned queues", own)
+			}
+		})
+	}
+}
+
+// TestSchedCountersUnparks pins the wakeup accounting: publishing an owned
+// tile issues exactly one unpark, a shared tile one per worker, and only
+// tiles published after the seed phase (those with dependencies) count.
+func TestSchedCountersUnparks(t *testing.T) {
+	interior := grid.NewBox([]int{0}, []int{80})
+	tiles := sliceTiling(interior, 4, []int{20, 40, 60}, []int{0, 1, 2, 3})
+	const workers = 4
+	stats, err := Run(tiles, Config{
+		Workers: workers,
+		Order:   1,
+		Exec:    func(int, *spacetime.Tile) int64 { return 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 tiles per timestep are seeded (t=0) without wakeups; the remaining
+	// tiles are each published exactly once at one unpark apiece.
+	var unparks int64
+	for _, sc := range stats.Sched {
+		unparks += sc.Unparks
+	}
+	want := int64(len(tiles) - 4)
+	if unparks != want {
+		t.Errorf("unparks = %d, want %d (one per non-seed owned tile)", unparks, want)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +46,12 @@ type Config struct {
 	// Pin locks each worker goroutine to an OS thread and best-effort pins
 	// it to CPU w (Linux). Purely an optimization for real runs.
 	Pin bool
+	// Scheme, when non-empty, names the tiling scheme for observability:
+	// workers run under runtime/pprof labels (scheme=<Scheme>, worker=<w>)
+	// so CPU profiles attribute samples per scheme and per worker. Labels
+	// are applied once at worker startup — the per-tile hot path is
+	// unaffected.
+	Scheme string
 	// Ctx, when non-nil, bounds the run: once it is cancelled or its
 	// deadline passes, workers stop claiming tiles (parked workers are
 	// woken by an Unpark broadcast) and the run returns Ctx.Err(). A worker
@@ -57,6 +65,25 @@ type Config struct {
 	Exec Exec
 }
 
+// SchedCounters are one worker's scheduler event counts for a Run. Workers
+// accumulate them in local variables and fold them into Stats once at exit,
+// so the counters add no atomics to the per-tile hot path.
+type SchedCounters struct {
+	// Parks counts the times the worker parked after finding no ready tile.
+	Parks int64
+	// Unparks counts the wakeups this worker issued when publishing tiles
+	// it made ready (one for an owned tile, Workers for a shared tile).
+	Unparks int64
+	// OwnPops and SharedPops count tiles the worker claimed from its own
+	// queue and from the shared queue; their sum over all workers equals
+	// the tiles executed.
+	OwnPops    int64
+	SharedPops int64
+	// EmptyPolls counts polls that found no ready tile (each park is
+	// preceded by one, so Parks <= EmptyPolls).
+	EmptyPolls int64
+}
+
 // Stats reports what each worker did during a Run.
 type Stats struct {
 	Workers          int
@@ -65,7 +92,10 @@ type Stats struct {
 	// BusyPerWorker is the time each worker spent executing tiles
 	// (excluding waits), for load-imbalance analysis.
 	BusyPerWorker []time.Duration
-	TotalUpdates  int64
+	// Sched carries per-worker scheduler counters for dependency-driven
+	// runs; nil from RunStatic, which has no queues or parkers.
+	Sched        []SchedCounters
+	TotalUpdates int64
 }
 
 // Imbalance returns max/mean of per-worker busy time — 1.0 is a perfectly
@@ -147,6 +177,7 @@ func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 		UpdatesPerWorker: make([]int64, cfg.Workers),
 		TilesPerWorker:   make([]int64, cfg.Workers),
 		BusyPerWorker:    make([]time.Duration, cfg.Workers),
+		Sched:            make([]SchedCounters, cfg.Workers),
 	}
 	if len(tiles) == 0 {
 		return stats, nil
@@ -222,7 +253,9 @@ func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 				defer runtime.UnlockOSThread()
 				_ = affinity.PinCurrentThread(w)
 			}
-			st.worker(w, cfg, stats)
+			pprof.Do(context.Background(), workerLabels(cfg.Scheme, w), func(context.Context) {
+				st.worker(w, cfg, stats)
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -255,16 +288,29 @@ func (st *runState) route(i, workers int) {
 // publish enqueues ready tile i and wakes the workers that may execute it:
 // the single owner for owned tiles, everyone for shared tiles (any worker
 // may drain the shared queue, and a worker between its last empty poll and
-// its park is only caught by arming its own Parker).
-func (st *runState) publish(i, workers int) {
-	if o := st.tiles[i].Owner; o < 0 {
+// its park is only caught by arming its own Parker). It returns the number
+// of wakeups issued, for the publisher's Unparks counter.
+func (st *runState) publish(i, workers int) int64 {
+	o := st.tiles[i].Owner
+	if o < 0 {
 		st.sharedQ.push(i)
 		st.unparkAll()
-	} else {
-		w := o % workers
-		st.ownQ[w].push(i)
-		st.parkers[w].Unpark()
+		return int64(workers)
 	}
+	w := o % workers
+	st.ownQ[w].push(i)
+	st.parkers[w].Unpark()
+	return 1
+}
+
+// workerLabels builds the pprof label set a worker goroutine runs under, so
+// CPU profiles can be focused per scheme (-tagfocus scheme=nuCORALS) and
+// per worker.
+func workerLabels(scheme string, w int) pprof.LabelSet {
+	if scheme == "" {
+		return pprof.Labels("worker", strconv.Itoa(w))
+	}
+	return pprof.Labels("scheme", scheme, "worker", strconv.Itoa(w))
 }
 
 func (st *runState) unparkAll() {
@@ -290,12 +336,13 @@ func (st *runState) anyReady() bool {
 
 // next returns the next tile for worker w: its own queue first (preserving
 // the order tiles became ready for it), then the shared queue. Returns -1 if
-// nothing is ready for w right now.
-func (st *runState) next(w int) int {
+// nothing is ready for w right now; shared reports which queue the tile
+// came from, for the pop counters.
+func (st *runState) next(w int) (i int, shared bool) {
 	if i := st.ownQ[w].pop(); i >= 0 {
-		return i
+		return i, false
 	}
-	return st.sharedQ.pop()
+	return st.sharedQ.pop(), true
 }
 
 func (st *runState) worker(w int, cfg Config, stats *Stats) {
@@ -305,7 +352,13 @@ func (st *runState) worker(w int, cfg Config, stats *Stats) {
 	// panics in its own scheduler code is converted the same way, with
 	// Tile = -1.
 	cur := -1
+	// Scheduler counters live in a worker-local variable and are folded
+	// into Stats once at exit (the defer also runs on panic and on the
+	// terminal-status return paths), keeping the hot path free of extra
+	// atomics and shared-cacheline traffic.
+	var sc SchedCounters
 	defer func() {
+		stats.Sched[w] = sc
 		if r := recover(); r != nil {
 			id := -1
 			if cur >= 0 {
@@ -321,8 +374,9 @@ func (st *runState) worker(w int, cfg Config, stats *Stats) {
 		if st.status.Load() != runActive {
 			return
 		}
-		i := st.next(w)
+		i, shared := st.next(w)
 		if i < 0 {
+			sc.EmptyPolls++
 			// Out of work: register idle, then decide between parking and
 			// declaring a cycle. Completers push (and arm Parkers) before
 			// decrementing remaining, and idle counts no executing worker,
@@ -338,8 +392,14 @@ func (st *runState) worker(w int, cfg Config, stats *Stats) {
 				continue
 			}
 			st.parkers[w].Park(parkSpin)
+			sc.Parks++
 			st.idle.Add(-1)
 			continue
+		}
+		if shared {
+			sc.SharedPops++
+		} else {
+			sc.OwnPops++
 		}
 
 		cur = i
@@ -354,7 +414,7 @@ func (st *runState) worker(w int, cfg Config, stats *Stats) {
 		// each tile is published exactly once.
 		for _, d := range st.dependents[i] {
 			if st.nDeps[d].Add(-1) == 0 {
-				st.publish(int(d), cfg.Workers)
+				sc.Unparks += st.publish(int(d), cfg.Workers)
 			}
 		}
 		if st.remaining.Add(-1) == 0 {

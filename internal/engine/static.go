@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -157,25 +159,27 @@ func RunStatic(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 				defer runtime.UnlockOSThread()
 				_ = affinity.PinCurrentThread(w)
 			}
-			for _, i := range lists[w] {
-				if status.Load() != runActive {
-					return
-				}
-				for _, d := range deps[i] {
-					if !waitFlag(d) {
+			pprof.Do(context.Background(), workerLabels(cfg.Scheme, w), func(context.Context) {
+				for _, i := range lists[w] {
+					if status.Load() != runActive {
 						return
 					}
+					for _, d := range deps[i] {
+						if !waitFlag(d) {
+							return
+						}
+					}
+					cur = i
+					t0 := time.Now()
+					n := cfg.Exec(w, tiles[i])
+					cur = -1
+					stats.BusyPerWorker[w] += time.Since(t0)
+					stats.UpdatesPerWorker[w] += n
+					stats.TilesPerWorker[w]++
+					flags.Set(i)
+					progress.Add(1)
 				}
-				cur = i
-				t0 := time.Now()
-				n := cfg.Exec(w, tiles[i])
-				cur = -1
-				stats.BusyPerWorker[w] += time.Since(t0)
-				stats.UpdatesPerWorker[w] += n
-				stats.TilesPerWorker[w]++
-				flags.Set(i)
-				progress.Add(1)
-			}
+			})
 		}(w)
 	}
 	wg.Wait()

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 )
 
@@ -61,21 +62,81 @@ func (r Result) String() string {
 		r.Scheme, r.Machine, r.Cores, r.Gupdates(), r.GupdatesPerCore(), r.GFLOPS())
 }
 
+// resultJSON is the wire form of a Result: the base fields in snake_case
+// plus the derived rates, so machine consumers (benchmark trackers, CI)
+// don't re-implement the conversions. Unmarshalling ignores the derived
+// fields — they are recomputed from the base fields on demand.
+type resultJSON struct {
+	Scheme          string   `json:"scheme"`
+	Machine         string   `json:"machine"`
+	Cores           int      `json:"cores"`
+	Dims            []int    `json:"dims,omitempty"`
+	Timesteps       int      `json:"timesteps"`
+	Updates         int64    `json:"updates"`
+	Seconds         float64  `json:"seconds"`
+	FlopsPerUpdate  int      `json:"flops_per_update"`
+	Traffic         *Traffic `json:"traffic,omitempty"`
+	Gupdates        float64  `json:"gupdates_per_s"`
+	GupdatesPerCore float64  `json:"gupdates_per_s_per_core"`
+	GFLOPS          float64  `json:"gflops"`
+	GFLOPSPerCore   float64  `json:"gflops_per_core"`
+}
+
+// MarshalJSON emits the result with its derived rates included.
+func (r Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		Scheme:          r.Scheme,
+		Machine:         r.Machine,
+		Cores:           r.Cores,
+		Dims:            r.Dims,
+		Timesteps:       r.Timesteps,
+		Updates:         r.Updates,
+		Seconds:         r.Seconds,
+		FlopsPerUpdate:  r.FlopsPerUpdate,
+		Traffic:         r.Traffic,
+		Gupdates:        r.Gupdates(),
+		GupdatesPerCore: r.GupdatesPerCore(),
+		GFLOPS:          r.GFLOPS(),
+		GFLOPSPerCore:   r.GFLOPSPerCore(),
+	})
+}
+
+// UnmarshalJSON restores the base fields; derived rates in the input are
+// ignored and recomputed by the accessor methods.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w resultJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = Result{
+		Scheme:         w.Scheme,
+		Machine:        w.Machine,
+		Cores:          w.Cores,
+		Dims:           w.Dims,
+		Timesteps:      w.Timesteps,
+		Updates:        w.Updates,
+		Seconds:        w.Seconds,
+		FlopsPerUpdate: w.FlopsPerUpdate,
+		Traffic:        w.Traffic,
+	}
+	return nil
+}
+
 // Traffic is the cost model's per-update attribution for a prediction.
 type Traffic struct {
 	// MainWords is the average number of float64 words per update that
 	// reach main memory.
-	MainWords float64
+	MainWords float64 `json:"main_words"`
 	// LLCWords is the average number of words per update served by the
 	// last-level cache.
-	LLCWords float64
+	LLCWords float64 `json:"llc_words"`
 	// LocalFrac is the fraction of main-memory traffic served by the
 	// requesting core's own NUMA node.
-	LocalFrac float64
+	LocalFrac float64 `json:"local_frac"`
 	// Bottleneck names what limited the prediction: "compute", "llc",
 	// "memory", "controller" or "interconnect".
-	Bottleneck string
+	Bottleneck string `json:"bottleneck"`
 	// Overhead is the multiplicative inefficiency applied (control logic,
 	// synchronization, pipeline fill).
-	Overhead float64
+	Overhead float64 `json:"overhead"`
 }

@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -43,5 +45,55 @@ func TestString(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() missing %q: %s", want, s)
 		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := Result{
+		Scheme: "nuCATS", Machine: "Xeon X7550", Cores: 32,
+		Dims: []int{800, 800, 800}, Timesteps: 100,
+		Updates: 2e9, Seconds: 1.0, FlopsPerUpdate: 13,
+		Traffic: &Traffic{
+			MainWords: 1.5, LLCWords: 4.0, LocalFrac: 0.9,
+			Bottleneck: "llc", Overhead: 1.1,
+		},
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derived rates ride along for machine consumers.
+	for _, key := range []string{`"gupdates_per_s":2`, `"gflops":26`, `"bottleneck":"llc"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON missing %s: %s", key, data)
+		}
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Errorf("round trip changed the result:\n got %+v\nwant %+v", back, r)
+	}
+	if back.Gupdates() != r.Gupdates() || back.GFLOPS() != r.GFLOPS() {
+		t.Error("derived rates differ after round trip")
+	}
+}
+
+func TestJSONNoTraffic(t *testing.T) {
+	r := Result{Scheme: "CATS", Cores: 1, Updates: 1, Seconds: 1, FlopsPerUpdate: 13}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "traffic") {
+		t.Errorf("nil traffic should be omitted: %s", data)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Traffic != nil {
+		t.Error("traffic should stay nil")
 	}
 }

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"encoding/json"
+
+	"nustencil/internal/experiments"
+)
+
+// FigureDoc is the machine-readable form of a regenerated figure: the
+// per-core Gupdates/s series of every line, plus the caption GFLOPS and
+// (for scheme lines) the cost model's bottleneck attribution. It is the
+// stable JSON contract scripts and CI track the perf trajectory against.
+type FigureDoc struct {
+	ID    string    `json:"id"`
+	Title string    `json:"title"`
+	Cores []int     `json:"cores"`
+	Lines []LineDoc `json:"lines"`
+}
+
+// LineDoc is one figure line as a JSON series.
+type LineDoc struct {
+	Label string `json:"label"`
+	// Scheme is the cost-model name, empty for analytic bounds.
+	Scheme string `json:"scheme,omitempty"`
+	// PerCoreGupdates[j] is Gupdates/s per core at Cores[j] — the figures'
+	// left y-axis.
+	PerCoreGupdates []float64 `json:"per_core_gupdates"`
+	// CaptionGFLOPS is the aggregate GFLOPS at the maximum core count.
+	CaptionGFLOPS float64 `json:"caption_gflops"`
+	// Bottlenecks[j] names the limiting resource at Cores[j]; only scheme
+	// lines carry an attribution.
+	Bottlenecks []string `json:"bottlenecks,omitempty"`
+}
+
+// FigureDocOf converts regenerated figure data to its JSON document form.
+func FigureDocOf(d *experiments.Data) FigureDoc {
+	doc := FigureDoc{
+		ID:    d.Figure.ID,
+		Title: d.Figure.Title,
+		Cores: d.Cores,
+	}
+	for i, ln := range d.Figure.Lines {
+		ld := LineDoc{
+			Label:           ln.Label,
+			Scheme:          ln.Scheme,
+			PerCoreGupdates: d.PerCore[i],
+			CaptionGFLOPS:   d.CaptionGFLOPS[i],
+		}
+		if ln.Scheme != "" {
+			for _, n := range d.Cores {
+				ld.Bottlenecks = append(ld.Bottlenecks, d.Bottleneck(ln.Label, n))
+			}
+		}
+		doc.Lines = append(doc.Lines, ld)
+	}
+	return doc
+}
+
+// FigureJSON renders a regenerated figure as indented JSON.
+func FigureJSON(d *experiments.Data) ([]byte, error) {
+	return json.MarshalIndent(FigureDocOf(d), "", "  ")
+}
+
+// Fig3Doc is the machine-readable form of Figure 3's bandwidth scaling
+// curves.
+type Fig3Doc struct {
+	ID     string         `json:"id"`
+	Curves []Fig3CurveDoc `json:"curves"`
+}
+
+// Fig3CurveDoc is one machine's bandwidth scaling series (GB/s per core).
+type Fig3CurveDoc struct {
+	Machine    string    `json:"machine"`
+	Cores      []int     `json:"cores"`
+	SysPerCore []float64 `json:"sys_gbs_per_core"`
+	LLCPerCore []float64 `json:"llc_gbs_per_core"`
+}
+
+// Fig3JSON renders the Figure 3 bandwidth curves as indented JSON.
+func Fig3JSON(curves []experiments.BandwidthScaling) ([]byte, error) {
+	doc := Fig3Doc{ID: "fig03"}
+	for _, c := range curves {
+		doc.Curves = append(doc.Curves, Fig3CurveDoc{
+			Machine:    c.Machine.Name,
+			Cores:      c.Cores,
+			SysPerCore: c.SysPerCore,
+			LLCPerCore: c.LLCPerCore,
+		})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

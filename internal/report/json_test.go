@@ -1,0 +1,69 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+
+	"nustencil/internal/experiments"
+)
+
+// TestFigureJSONRoundTrip regenerates a figure, encodes it, and decodes it
+// back: the JSON series must match the text table's data exactly, making
+// the format a stable contract for perf tracking.
+func TestFigureJSONRoundTrip(t *testing.T) {
+	d := experiments.All()["fig21"].Run()
+	data, err := FigureJSON(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc FigureDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("figure JSON invalid: %v", err)
+	}
+	if doc.ID != "fig21" || doc.Title != d.Figure.Title {
+		t.Errorf("identity: %+v", doc)
+	}
+	if len(doc.Cores) != len(d.Cores) || len(doc.Lines) != len(d.Figure.Lines) {
+		t.Fatalf("shape: %d cores, %d lines", len(doc.Cores), len(doc.Lines))
+	}
+	for i, ln := range doc.Lines {
+		if ln.Label != d.Figure.Lines[i].Label {
+			t.Errorf("line %d label %q != %q", i, ln.Label, d.Figure.Lines[i].Label)
+		}
+		for j, v := range ln.PerCoreGupdates {
+			if v != d.PerCore[i][j] {
+				t.Errorf("line %d point %d: %v != %v", i, j, v, d.PerCore[i][j])
+			}
+		}
+		if ln.CaptionGFLOPS != d.CaptionGFLOPS[i] {
+			t.Errorf("line %d caption: %v != %v", i, ln.CaptionGFLOPS, d.CaptionGFLOPS[i])
+		}
+		// Scheme lines carry one bottleneck per core count; bound lines none.
+		if ln.Scheme != "" && len(ln.Bottlenecks) != len(d.Cores) {
+			t.Errorf("scheme line %q bottlenecks = %d, want %d", ln.Label, len(ln.Bottlenecks), len(d.Cores))
+		}
+		if ln.Scheme == "" && ln.Bottlenecks != nil {
+			t.Errorf("bound line %q has bottlenecks %v", ln.Label, ln.Bottlenecks)
+		}
+	}
+}
+
+func TestFig3JSON(t *testing.T) {
+	data, err := Fig3JSON(experiments.Fig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Fig3Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("fig03 JSON invalid: %v", err)
+	}
+	if doc.ID != "fig03" || len(doc.Curves) != 2 {
+		t.Fatalf("doc: %+v", doc)
+	}
+	for _, c := range doc.Curves {
+		if c.Machine == "" || len(c.Cores) == 0 ||
+			len(c.SysPerCore) != len(c.Cores) || len(c.LLCPerCore) != len(c.Cores) {
+			t.Errorf("curve shape wrong: %+v", c)
+		}
+	}
+}

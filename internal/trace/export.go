@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format's traceEvents
+// array (the JSON format chrome://tracing and Perfetto load). Timestamps
+// and durations are in microseconds; fractional values are allowed, which
+// keeps sub-microsecond tiles visible.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace-event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the trace in Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing: one track (tid) per worker, one complete
+// ("ph":"X") event per recorded tile carrying the tile ID, timestep range
+// and update count as args, plus thread_name metadata naming each of the
+// workers tracks. Events are emitted sorted by start time. It must not be
+// called concurrently with Record.
+func (tr *Trace) WriteChromeTrace(w io.Writer, workers int) error {
+	evs := tr.collect()
+	doc := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(evs)+workers),
+		DisplayTimeUnit: "ms",
+	}
+	for wk := 0; wk < workers; wk++ {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  0,
+			Tid:  wk,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", wk)},
+		})
+	}
+	for _, e := range evs {
+		dur := float64(e.End-e.Start) / 1e3
+		if dur < 0 {
+			dur = 0
+		}
+		d := dur
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: fmt.Sprintf("tile %d [t%d,t%d)", e.TileID, e.T0, e.T1),
+			Ph:   "X",
+			Ts:   float64(e.Start) / 1e3,
+			Dur:  &d,
+			Pid:  0,
+			Tid:  e.Worker,
+			Args: map[string]any{
+				"tile":    e.TileID,
+				"t0":      e.T0,
+				"t1":      e.T1,
+				"updates": e.Updates,
+				"worker":  e.Worker,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

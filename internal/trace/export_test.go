@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chromeDoc mirrors the trace-event JSON for decoding in tests.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	t0 := time.Now()
+	tr := NewForWorkers(2)
+	tr.origin = t0
+	tr.Record(1, 7, 2, 4, 30, t0.Add(10*time.Millisecond), t0.Add(25*time.Millisecond))
+	tr.Record(0, 3, 0, 2, 10, t0, t0.Add(5*time.Millisecond))
+	tr.Record(0, 5, 2, 4, 20, t0.Add(5*time.Millisecond), t0.Add(12*time.Millisecond))
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var meta, complete int
+	lastTs := -1.0
+	tiles := map[float64]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+			if e.Name != "thread_name" {
+				t.Errorf("metadata event name = %q", e.Name)
+			}
+		case "X":
+			complete++
+			if e.Ts < lastTs {
+				t.Errorf("timestamps not monotone: %v after %v", e.Ts, lastTs)
+			}
+			lastTs = e.Ts
+			if e.Dur <= 0 {
+				t.Errorf("complete event %q has dur %v", e.Name, e.Dur)
+			}
+			for _, k := range []string{"tile", "t0", "t1", "updates", "worker"} {
+				if _, ok := e.Args[k]; !ok {
+					t.Errorf("complete event %q missing arg %q", e.Name, k)
+				}
+			}
+			tiles[e.Args["tile"].(float64)] = true
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if meta != 2 {
+		t.Errorf("thread_name events = %d, want 2 (one per worker)", meta)
+	}
+	if complete != 3 {
+		t.Errorf("complete events = %d, want one per recorded tile (3)", complete)
+	}
+	for _, id := range []float64{3, 5, 7} {
+		if !tiles[id] {
+			t.Errorf("tile %v missing from trace", id)
+		}
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteChromeTrace(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 1 { // just the thread_name metadata
+		t.Errorf("events = %d, want 1", len(doc.TraceEvents))
+	}
+}
+
+func TestSummary(t *testing.T) {
+	t0 := time.Now()
+	tr := NewForWorkers(2)
+	tr.origin = t0
+	// Worker 0 busy the whole 100ms span; worker 1 busy the middle 50ms.
+	tr.Record(0, 0, 0, 1, 40, t0, t0.Add(100*time.Millisecond))
+	tr.Record(1, 1, 0, 1, 10, t0.Add(25*time.Millisecond), t0.Add(75*time.Millisecond))
+	s := tr.Summary(2)
+	if s.Tiles != 2 || s.Updates != 50 {
+		t.Fatalf("tiles=%d updates=%d", s.Tiles, s.Updates)
+	}
+	if s.Span != 100*time.Millisecond {
+		t.Errorf("span = %v", s.Span)
+	}
+	if len(s.Events) != 2 || s.Events[0].TileID != 0 {
+		t.Errorf("summary events wrong: %+v", s.Events)
+	}
+	w0, w1 := s.PerWorker[0], s.PerWorker[1]
+	if w0.Busy != 100*time.Millisecond || w0.Idle != 0 || w0.Tiles != 1 || w0.Updates != 40 {
+		t.Errorf("worker 0 stat: %+v", w0)
+	}
+	if w1.Busy != 50*time.Millisecond || w1.Idle != 50*time.Millisecond {
+		t.Errorf("worker 1 stat: %+v", w1)
+	}
+	if w1.Utilization < 0.49 || w1.Utilization > 0.51 {
+		t.Errorf("worker 1 utilization = %v", w1.Utilization)
+	}
+	// max busy 100ms, mean 75ms.
+	if s.Imbalance < 1.32 || s.Imbalance > 1.34 {
+		t.Errorf("imbalance = %v", s.Imbalance)
+	}
+	if tr.sorts != 1 {
+		t.Errorf("Summary sorted the event list %d times, want 1", tr.sorts)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := New().Summary(3)
+	if s.Tiles != 0 || s.Span != 0 || s.Imbalance != 0 || len(s.PerWorker) != 3 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+// TestTimelineSingleSort pins the fix for the repeated O(n log n)
+// derivations: one Timeline render must collect and sort the event list
+// exactly once (it previously did so four times, via Events, Span and
+// Utilization each re-deriving it).
+func TestTimelineSingleSort(t *testing.T) {
+	t0 := time.Now()
+	tr := NewForWorkers(2)
+	tr.origin = t0
+	tr.Record(0, 0, 0, 1, 1, t0, t0.Add(10*time.Millisecond))
+	tr.Record(1, 1, 0, 1, 1, t0.Add(5*time.Millisecond), t0.Add(10*time.Millisecond))
+	tr.Timeline(2, 10)
+	if tr.sorts != 1 {
+		t.Errorf("Timeline sorted the event list %d times, want exactly 1", tr.sorts)
+	}
+}
+
+// TestTimelineRendersTail pins the tail-bucket fix: with span not evenly
+// divisible by width, the truncating bucket size span/width left the last
+// span-mod-width nanoseconds beyond the final bucket, so a tile that
+// executed entirely in that window rendered as idle.
+func TestTimelineRendersTail(t *testing.T) {
+	t0 := time.Now()
+	tr := NewForWorkers(2)
+	tr.origin = t0
+	// Span is 100ns over 3 columns: truncated bucket = 33ns, covering only
+	// [0,99). The last event [99,100) fell entirely in the lost tail.
+	tr.Record(0, 0, 0, 1, 1, t0, t0.Add(10*time.Nanosecond))
+	tr.Record(1, 1, 0, 1, 1, t0.Add(99*time.Nanosecond), t0.Add(100*time.Nanosecond))
+	out := tr.Timeline(2, 3)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), out)
+	}
+	w1 := lines[2]
+	bar := w1[strings.IndexByte(w1, '|')+1 : strings.LastIndexByte(w1, '|')]
+	if strings.TrimSpace(bar) == "" {
+		t.Errorf("tail event rendered as idle: %q", w1)
+	}
+}

@@ -1,6 +1,7 @@
 // Package trace records the execution timeline of a tiled run — which
 // worker executed which space-time tile when — and renders it as a text
-// timeline with utilization analysis. It is the observability layer for
+// timeline with utilization analysis or exports it as Chrome trace-event
+// JSON (see WriteChromeTrace). It is the observability layer for
 // understanding scheduling behaviour: pipeline fill of the skewed slabs,
 // layer barriers of nuCORALS, the serialization NUMA-ignorant schemes
 // suffer.
@@ -40,6 +41,10 @@ type Trace struct {
 	origin time.Time
 	events []Event // fallback for New() traces and out-of-range workers
 	shards []shard // one per worker; each written only by that worker
+
+	// sorts counts how many times the event list was collected and sorted,
+	// so tests can assert that rendering derives it exactly once per call.
+	sorts int
 }
 
 // New returns an empty trace starting now. Record serializes on a mutex;
@@ -51,7 +56,8 @@ func New() *Trace {
 // NewForWorkers returns an empty trace starting now with one lock-free
 // event shard per worker. Each worker index must be recorded by at most one
 // goroutine at a time (the engine's per-worker execution guarantees this),
-// and readers (Events, Span, ...) must not run concurrently with Record.
+// and readers (Events, Span, Summary, ...) must not run concurrently with
+// Record.
 func NewForWorkers(workers int) *Trace {
 	return &Trace{origin: time.Now(), shards: make([]shard, workers)}
 }
@@ -71,8 +77,11 @@ func (tr *Trace) Record(worker, tileID, t0, t1 int, updates int64, start, end ti
 	tr.mu.Unlock()
 }
 
-// Events returns a copy of the recorded events sorted by start time.
-func (tr *Trace) Events() []Event {
+// collect merges the shards into one event list sorted by start time. Every
+// reader goes through collect so the copy+sort happens exactly once per
+// rendering call; the derived quantities (span, utilization) are computed
+// from the returned slice instead of re-collecting.
+func (tr *Trace) collect() []Event {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	n := len(tr.events)
@@ -85,12 +94,13 @@ func (tr *Trace) Events() []Event {
 		out = append(out, tr.shards[i].events...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	tr.sorts++
 	return out
 }
 
-// Span returns the wall time from the first start to the last end.
-func (tr *Trace) Span() time.Duration {
-	evs := tr.Events()
+// spanOf returns the wall time from the first start to the last end of an
+// already-sorted event list.
+func spanOf(evs []Event) time.Duration {
 	if len(evs) == 0 {
 		return 0
 	}
@@ -103,19 +113,111 @@ func (tr *Trace) Span() time.Duration {
 	return end - evs[0].Start
 }
 
-// Utilization returns each worker's busy fraction of the trace span.
-func (tr *Trace) Utilization(workers int) []float64 {
-	span := tr.Span()
+// utilizationOf returns each worker's busy fraction of span.
+func utilizationOf(evs []Event, span time.Duration, workers int) []float64 {
 	util := make([]float64, workers)
 	if span <= 0 {
 		return util
 	}
-	for _, e := range tr.Events() {
+	for _, e := range evs {
 		if e.Worker >= 0 && e.Worker < workers {
 			util[e.Worker] += float64(e.End-e.Start) / float64(span)
 		}
 	}
 	return util
+}
+
+// Events returns a copy of the recorded events sorted by start time. It
+// must not be called concurrently with Record.
+func (tr *Trace) Events() []Event {
+	return tr.collect()
+}
+
+// Span returns the wall time from the first start to the last end.
+func (tr *Trace) Span() time.Duration {
+	return spanOf(tr.collect())
+}
+
+// Utilization returns each worker's busy fraction of the trace span.
+func (tr *Trace) Utilization(workers int) []float64 {
+	evs := tr.collect()
+	return utilizationOf(evs, spanOf(evs), workers)
+}
+
+// WorkerStat is one worker's share of a Summary.
+type WorkerStat struct {
+	Worker  int           `json:"worker"`
+	Tiles   int           `json:"tiles"`
+	Updates int64         `json:"updates"`
+	Busy    time.Duration `json:"busy_ns"`
+	Idle    time.Duration `json:"idle_ns"`
+	// Utilization is Busy as a fraction of the trace span.
+	Utilization float64 `json:"utilization"`
+}
+
+// Summary is the computed digest of a trace: the sorted events, the span,
+// and per-worker busy/idle accounting — everything downstream consumers
+// previously re-derived, computed from a single collection pass.
+type Summary struct {
+	// Events is the full sorted event list the summary was computed from.
+	Events []Event `json:"-"`
+	// Tiles is the number of recorded tile executions.
+	Tiles int `json:"tiles"`
+	// Span is first-start to last-end wall time.
+	Span time.Duration `json:"span_ns"`
+	// Updates is the total point updates across all events.
+	Updates   int64        `json:"updates"`
+	PerWorker []WorkerStat `json:"per_worker"`
+	// Imbalance is max/mean of per-worker busy time (1.0 = perfectly
+	// balanced, 0 when nothing ran).
+	Imbalance float64 `json:"imbalance"`
+}
+
+// Summary computes the trace digest for the given worker count with exactly
+// one event collection. It must not be called concurrently with Record.
+func (tr *Trace) Summary(workers int) Summary {
+	return summarize(tr.collect(), workers)
+}
+
+func summarize(evs []Event, workers int) Summary {
+	s := Summary{
+		Events:    evs,
+		Tiles:     len(evs),
+		Span:      spanOf(evs),
+		PerWorker: make([]WorkerStat, workers),
+	}
+	for w := range s.PerWorker {
+		s.PerWorker[w].Worker = w
+	}
+	for _, e := range evs {
+		s.Updates += e.Updates
+		if e.Worker < 0 || e.Worker >= workers {
+			continue
+		}
+		ws := &s.PerWorker[e.Worker]
+		ws.Tiles++
+		ws.Updates += e.Updates
+		ws.Busy += e.End - e.Start
+	}
+	var sum, maxB time.Duration
+	for w := range s.PerWorker {
+		ws := &s.PerWorker[w]
+		ws.Idle = s.Span - ws.Busy
+		if ws.Idle < 0 {
+			ws.Idle = 0
+		}
+		if s.Span > 0 {
+			ws.Utilization = float64(ws.Busy) / float64(s.Span)
+		}
+		sum += ws.Busy
+		if ws.Busy > maxB {
+			maxB = ws.Busy
+		}
+	}
+	if sum > 0 && workers > 0 {
+		s.Imbalance = float64(maxB) / (float64(sum) / float64(workers))
+	}
+	return s
 }
 
 // Timeline renders a text Gantt chart: one row per worker, time bucketed
@@ -125,8 +227,8 @@ func (tr *Trace) Timeline(workers, width int) string {
 	if width < 1 {
 		width = 60
 	}
-	evs := tr.Events()
-	span := tr.Span()
+	evs := tr.collect()
+	span := spanOf(evs)
 	var b strings.Builder
 	fmt.Fprintf(&b, "timeline (%d tiles over %v)\n", len(evs), span.Round(time.Microsecond))
 	if span <= 0 {
@@ -137,7 +239,10 @@ func (tr *Trace) Timeline(workers, width int) string {
 	for w := range buckets {
 		buckets[w] = make([]float64, width)
 	}
-	bucket := span / time.Duration(width)
+	// Round the bucket size up so width buckets cover the whole span;
+	// truncating would leave the final span-mod-width nanoseconds past the
+	// last bucket and render every run's tail as idle.
+	bucket := (span + time.Duration(width) - 1) / time.Duration(width)
 	if bucket <= 0 {
 		bucket = 1
 	}
@@ -154,7 +259,7 @@ func (tr *Trace) Timeline(workers, width int) string {
 			}
 		}
 	}
-	util := tr.Utilization(workers)
+	util := utilizationOf(evs, span, workers)
 	for w := 0; w < workers; w++ {
 		fmt.Fprintf(&b, "w%-3d |", w)
 		for _, v := range buckets[w] {

@@ -147,6 +147,10 @@ type Report struct {
 	Imbalance float64
 	// FlopsPerUpdate converts updates to flops.
 	FlopsPerUpdate int
+	// Sched carries per-worker scheduler counters for dependency-scheduled
+	// runs (parks, wakeups issued, queue pops, empty polls); nil under
+	// Config.StaticSchedule, whose executor has no queues or parkers.
+	Sched []SchedulerCounters
 }
 
 // Gupdates returns giga-updates per second.
@@ -350,13 +354,13 @@ func (s *Solver) RunContext(ctx context.Context) (Report, error) {
 
 // RunSteps advances the grid by an explicit number of timesteps.
 func (s *Solver) RunSteps(timesteps int) (Report, error) {
-	rep, _, err := s.runSteps(nil, timesteps, false, 0)
+	rep, _, err := s.runSteps(nil, timesteps, false)
 	return rep, err
 }
 
 // RunStepsContext is RunSteps bounded by ctx (see RunContext).
 func (s *Solver) RunStepsContext(ctx context.Context, timesteps int) (Report, error) {
-	rep, _, err := s.runSteps(ctx, timesteps, false, 0)
+	rep, _, err := s.runSteps(ctx, timesteps, false)
 	return rep, err
 }
 
@@ -365,20 +369,42 @@ func (s *Solver) RunStepsContext(ctx context.Context, timesteps int) (Report, er
 // per-worker utilization — the observability view of how a scheme
 // schedules.
 func (s *Solver) RunStepsTraced(timesteps, width int) (Report, string, error) {
-	return s.runSteps(nil, timesteps, true, width)
+	return s.runStepsTimeline(nil, timesteps, width)
 }
 
 // RunStepsTracedContext is RunStepsTraced bounded by ctx (see RunContext).
 func (s *Solver) RunStepsTracedContext(ctx context.Context, timesteps, width int) (Report, string, error) {
-	return s.runSteps(ctx, timesteps, true, width)
+	return s.runStepsTimeline(ctx, timesteps, width)
+}
+
+func (s *Solver) runStepsTimeline(ctx context.Context, timesteps, width int) (Report, string, error) {
+	rep, tr, err := s.runSteps(ctx, timesteps, true)
+	if err != nil || tr == nil {
+		return rep, "", err
+	}
+	return rep, tr.Timeline(width), nil
+}
+
+// RunStepsTrace is RunSteps plus the recorded execution trace itself, for
+// machine-readable export: Trace.WriteChromeTrace emits Chrome trace-event
+// JSON (Perfetto, chrome://tracing), Trace.Summary the per-worker busy/idle
+// digest, Trace.Timeline the text Gantt chart.
+func (s *Solver) RunStepsTrace(timesteps int) (Report, *Trace, error) {
+	return s.runSteps(nil, timesteps, true)
+}
+
+// RunStepsTraceContext is RunStepsTrace bounded by ctx (see RunContext).
+func (s *Solver) RunStepsTraceContext(ctx context.Context, timesteps int) (Report, *Trace, error) {
+	return s.runSteps(ctx, timesteps, true)
 }
 
 // runSteps executes one plan. A nil ctx means no cancellation (and costs
 // nothing on the hot path). Every error return carries a report holding
-// only the identity fields (Scheme, Workers, Timesteps, FlopsPerUpdate):
-// timing and update counts from a failed run would be meaningless — a
-// caller computing Gupdates on the error path must see zero, not a rate.
-func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool, width int) (Report, string, error) {
+// only the identity fields (Scheme, Workers, Timesteps, FlopsPerUpdate)
+// and a nil trace: timing and update counts from a failed run would be
+// meaningless — a caller computing Gupdates on the error path must see
+// zero, not a rate.
+func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool) (Report, *Trace, error) {
 	cfg := s.cfg
 	rep := Report{
 		Scheme:         cfg.Scheme,
@@ -387,14 +413,14 @@ func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool, width
 		FlopsPerUpdate: s.st.FlopsPerUpdate(),
 	}
 	if err := s.Err(); err != nil {
-		return rep, "", err
+		return rep, nil, err
 	}
 	if timesteps < 0 {
-		return rep, "", fmt.Errorf("nustencil: negative timesteps %d", timesteps)
+		return rep, nil, fmt.Errorf("nustencil: negative timesteps %d", timesteps)
 	}
 	if timesteps == 0 {
 		rep.UpdatesPerWorker = make([]int64, cfg.Workers)
-		return rep, "", nil
+		return rep, nil, nil
 	}
 	var wrap []int
 	if cfg.Periodic {
@@ -414,7 +440,7 @@ func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool, width
 		s.scheme.Distribute(p)
 		tiles, err := s.scheme.Tiles(p)
 		if err != nil {
-			return rep, "", err
+			return rep, nil, err
 		}
 		spacetime.AssignIDs(tiles)
 		pl = &plan{tiles: tiles, deps: engine.BuildDeps(tiles, cfg.Order, wrap)}
@@ -466,6 +492,7 @@ func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool, width
 		Wrap:    wrap,
 		Deps:    pl.deps,
 		Pin:     cfg.PinThreads,
+		Scheme:  string(cfg.Scheme),
 		Exec:    exec,
 		Ctx:     ctx,
 	})
@@ -474,7 +501,7 @@ func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool, width
 		// s.steps no longer names a consistent timestep. Poison the solver —
 		// the report keeps only its identity fields.
 		s.poison = err
-		return rep, "", err
+		return rep, nil, err
 	}
 	rep.Seconds = time.Since(start).Seconds()
 	s.steps += timesteps
@@ -482,9 +509,9 @@ func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool, width
 	rep.Tiles = len(tiles)
 	rep.UpdatesPerWorker = stats.UpdatesPerWorker
 	rep.Imbalance = stats.Imbalance()
-	timeline := ""
+	rep.Sched = schedCounters(stats.Sched)
 	if traced {
-		timeline = tr.Timeline(cfg.Workers, width)
+		return rep, &Trace{tr: tr, workers: cfg.Workers}, nil
 	}
-	return rep, timeline, nil
+	return rep, nil, nil
 }

@@ -1,0 +1,195 @@
+package nustencil
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"nustencil/internal/engine"
+	"nustencil/internal/experiments"
+	"nustencil/internal/report"
+	"nustencil/internal/trace"
+)
+
+// SchedulerCounters are one worker's scheduler event counts for a
+// dependency-driven run: how often it parked out of work, how many wakeups
+// it issued publishing ready tiles, and where its tiles came from. The
+// engine accumulates them in worker-local variables and folds them in at
+// exit, so collecting them costs nothing on the per-tile hot path.
+type SchedulerCounters struct {
+	// Parks counts the times the worker parked after finding no ready tile.
+	Parks int64 `json:"parks"`
+	// Unparks counts the wakeups the worker issued when publishing tiles it
+	// made ready.
+	Unparks int64 `json:"unparks"`
+	// OwnPops and SharedPops count tiles claimed from the worker's own
+	// queue and from the shared queue; their sum over all workers equals
+	// the tiles executed.
+	OwnPops    int64 `json:"own_pops"`
+	SharedPops int64 `json:"shared_pops"`
+	// EmptyPolls counts polls that found no ready tile.
+	EmptyPolls int64 `json:"empty_polls"`
+}
+
+func schedCounters(sc []engine.SchedCounters) []SchedulerCounters {
+	if sc == nil {
+		return nil
+	}
+	out := make([]SchedulerCounters, len(sc))
+	for i, c := range sc {
+		out[i] = SchedulerCounters{
+			Parks:      c.Parks,
+			Unparks:    c.Unparks,
+			OwnPops:    c.OwnPops,
+			SharedPops: c.SharedPops,
+			EmptyPolls: c.EmptyPolls,
+		}
+	}
+	return out
+}
+
+// reportJSON is the stable machine-readable form of a Report: base fields
+// in snake_case plus the derived rates, so scripts/bench.sh and CI consume
+// one format instead of scraping text output.
+type reportJSON struct {
+	Scheme           SchemeName          `json:"scheme"`
+	Workers          int                 `json:"workers"`
+	Timesteps        int                 `json:"timesteps"`
+	Tiles            int                 `json:"tiles"`
+	Updates          int64               `json:"updates"`
+	Seconds          float64             `json:"seconds"`
+	Gupdates         float64             `json:"gupdates_per_s"`
+	GFLOPS           float64             `json:"gflops"`
+	FlopsPerUpdate   int                 `json:"flops_per_update"`
+	Imbalance        float64             `json:"imbalance"`
+	UpdatesPerWorker []int64             `json:"updates_per_worker,omitempty"`
+	Scheduler        []SchedulerCounters `json:"scheduler,omitempty"`
+}
+
+// MarshalJSON emits the report with its derived rates included.
+func (r Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(reportJSON{
+		Scheme:           r.Scheme,
+		Workers:          r.Workers,
+		Timesteps:        r.Timesteps,
+		Tiles:            r.Tiles,
+		Updates:          r.Updates,
+		Seconds:          r.Seconds,
+		Gupdates:         r.Gupdates(),
+		GFLOPS:           r.GFLOPS(),
+		FlopsPerUpdate:   r.FlopsPerUpdate,
+		Imbalance:        r.Imbalance,
+		UpdatesPerWorker: r.UpdatesPerWorker,
+		Scheduler:        r.Sched,
+	})
+}
+
+// UnmarshalJSON restores the base fields; derived rates in the input are
+// ignored and recomputed by the accessor methods.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var w reportJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = Report{
+		Scheme:           w.Scheme,
+		Workers:          w.Workers,
+		Timesteps:        w.Timesteps,
+		Tiles:            w.Tiles,
+		Updates:          w.Updates,
+		Seconds:          w.Seconds,
+		FlopsPerUpdate:   w.FlopsPerUpdate,
+		Imbalance:        w.Imbalance,
+		UpdatesPerWorker: w.UpdatesPerWorker,
+		Sched:            w.Scheduler,
+	}
+	return nil
+}
+
+// Trace is the recorded execution timeline of one traced run: which worker
+// executed which space-time tile when. It renders as a text Gantt chart
+// (Timeline), exports as Chrome trace-event JSON (WriteChromeTrace) and
+// digests into per-worker busy/idle accounting (Summary).
+type Trace struct {
+	tr      *trace.Trace
+	workers int
+}
+
+// Timeline renders the trace as a text Gantt chart, width columns wide.
+func (t *Trace) Timeline(width int) string {
+	return t.tr.Timeline(t.workers, width)
+}
+
+// WriteChromeTrace writes the trace in Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing: one track per worker, one complete event
+// per executed tile carrying the tile ID, timestep range and update count.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	return t.tr.WriteChromeTrace(w, t.workers)
+}
+
+// Summary computes the trace digest: span, per-worker busy/idle time and
+// utilization, and busy-time imbalance.
+func (t *Trace) Summary() TraceSummary {
+	s := t.tr.Summary(t.workers)
+	out := TraceSummary{
+		Tiles:     s.Tiles,
+		Span:      s.Span,
+		Updates:   s.Updates,
+		Imbalance: s.Imbalance,
+		PerWorker: make([]WorkerTraceStat, len(s.PerWorker)),
+	}
+	for i, ws := range s.PerWorker {
+		out.PerWorker[i] = WorkerTraceStat{
+			Worker:      ws.Worker,
+			Tiles:       ws.Tiles,
+			Updates:     ws.Updates,
+			Busy:        ws.Busy,
+			Idle:        ws.Idle,
+			Utilization: ws.Utilization,
+		}
+	}
+	return out
+}
+
+// TraceSummary is the computed digest of a Trace.
+type TraceSummary struct {
+	// Tiles is the number of recorded tile executions.
+	Tiles int `json:"tiles"`
+	// Span is first-start to last-end wall time.
+	Span time.Duration `json:"span_ns"`
+	// Updates is the total point updates across all recorded tiles.
+	Updates int64 `json:"updates"`
+	// Imbalance is max/mean of per-worker busy time (1.0 = perfectly
+	// balanced, 0 when nothing ran).
+	Imbalance float64           `json:"imbalance"`
+	PerWorker []WorkerTraceStat `json:"per_worker"`
+}
+
+// WorkerTraceStat is one worker's share of a TraceSummary.
+type WorkerTraceStat struct {
+	Worker  int           `json:"worker"`
+	Tiles   int           `json:"tiles"`
+	Updates int64         `json:"updates"`
+	Busy    time.Duration `json:"busy_ns"`
+	Idle    time.Duration `json:"idle_ns"`
+	// Utilization is Busy as a fraction of the trace span.
+	Utilization float64 `json:"utilization"`
+}
+
+// RenderFigureJSON regenerates one paper figure as indented JSON: the
+// per-core Gupdates/s series of every line, caption GFLOPS, and (for
+// scheme lines) the cost model's bottleneck attribution. Accepted ids:
+// "fig03".."fig22".
+func RenderFigureJSON(id string) (string, error) {
+	if id == "fig03" {
+		out, err := report.Fig3JSON(experiments.Fig3())
+		return string(out), err
+	}
+	f, ok := experiments.All()[id]
+	if !ok {
+		return "", fmt.Errorf("nustencil: unknown figure %q (want fig03..fig22)", id)
+	}
+	out, err := report.FigureJSON(f.Run())
+	return string(out), err
+}

@@ -1,0 +1,154 @@
+package nustencil
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunStepsTraceExport exercises the public observability surface: a
+// traced run must yield a Chrome trace with one complete event per executed
+// tile, a summary consistent with the report, and scheduler counters whose
+// queue pops account for every tile.
+func TestRunStepsTraceExport(t *testing.T) {
+	s, err := NewSolver(Config{
+		Dims: []int{34, 34, 34}, Timesteps: 6, Scheme: NuCORALS, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, tr, err := s.RunStepsTrace(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil {
+		t.Fatal("traced run returned nil trace")
+	}
+
+	sum := tr.Summary()
+	if sum.Tiles != rep.Tiles {
+		t.Errorf("summary tiles %d != report tiles %d", sum.Tiles, rep.Tiles)
+	}
+	if sum.Updates != rep.Updates {
+		t.Errorf("summary updates %d != report updates %d", sum.Updates, rep.Updates)
+	}
+	if len(sum.PerWorker) != 4 {
+		t.Errorf("summary workers = %d, want 4", len(sum.PerWorker))
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace invalid JSON: %v", err)
+	}
+	complete := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			complete++
+		}
+	}
+	if complete != rep.Tiles {
+		t.Errorf("chrome trace has %d complete events, want %d", complete, rep.Tiles)
+	}
+
+	if len(rep.Sched) != 4 {
+		t.Fatalf("Sched = %d entries, want 4", len(rep.Sched))
+	}
+	var pops int64
+	for _, sc := range rep.Sched {
+		pops += sc.OwnPops + sc.SharedPops
+	}
+	if pops != int64(rep.Tiles) {
+		t.Errorf("queue pops %d != tiles executed %d", pops, rep.Tiles)
+	}
+
+	// The text timeline still renders from the same trace.
+	if tl := tr.Timeline(24); !strings.Contains(tl, "timeline") {
+		t.Errorf("timeline render wrong: %q", tl)
+	}
+}
+
+// TestStaticScheduleNoSchedCounters pins the contract that the static
+// executor (which has no queues or parkers) reports nil counters.
+func TestStaticScheduleNoSchedCounters(t *testing.T) {
+	s, err := NewSolver(Config{
+		Dims: []int{34, 34, 34}, Timesteps: 4, Scheme: NuCORALS,
+		Workers: 2, StaticSchedule: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.RunSteps(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sched != nil {
+		t.Errorf("static run reported scheduler counters: %+v", rep.Sched)
+	}
+}
+
+// TestReportJSONRoundTrip checks the stable report format: derived rates
+// present on the wire, base fields preserved through a round trip.
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := Report{
+		Scheme: NuCORALS, Workers: 2, Timesteps: 10, Updates: 2e9,
+		Seconds: 1, Tiles: 42, FlopsPerUpdate: 13, Imbalance: 1.25,
+		UpdatesPerWorker: []int64{1e9, 1e9},
+		Sched: []SchedulerCounters{
+			{Parks: 3, Unparks: 5, OwnPops: 20, SharedPops: 1, EmptyPolls: 7},
+			{Parks: 2, Unparks: 4, OwnPops: 21, SharedPops: 0, EmptyPolls: 6},
+		},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"gupdates_per_s":2`, `"gflops":26`, `"own_pops":20`, `"scheme":"nuCORALS"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("report JSON missing %s: %s", key, data)
+		}
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Updates != rep.Updates || back.Tiles != rep.Tiles || back.Gupdates() != rep.Gupdates() {
+		t.Errorf("round trip changed the report: %+v", back)
+	}
+	if len(back.Sched) != 2 || back.Sched[0] != rep.Sched[0] {
+		t.Errorf("scheduler counters lost: %+v", back.Sched)
+	}
+}
+
+// TestRenderFigureJSON smoke-checks the figure JSON entry point.
+func TestRenderFigureJSON(t *testing.T) {
+	out, err := RenderFigureJSON("fig04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("figure JSON invalid: %v", err)
+	}
+	if doc["id"] != "fig04" {
+		t.Errorf("id = %v", doc["id"])
+	}
+	if _, err := RenderFigureJSON("fig99"); err == nil {
+		t.Error("unknown figure must error")
+	}
+	out3, err := RenderFigureJSON("fig03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out3, "sys_gbs_per_core") {
+		t.Errorf("fig03 JSON missing bandwidth series: %s", out3)
+	}
+}

@@ -14,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BASE_REF="${1:-HEAD~1}"
 BENCHTIME="${2:-10x}"
-BENCH_RE='BenchmarkScheme$|BenchmarkKernel|BenchmarkScheduler'
+BENCH_RE='BenchmarkScheme$|BenchmarkKernel|BenchmarkScheduler|BenchmarkEngineOverhead'
 
 echo "== race-detector suites =="
 go test -race ./internal/engine/... ./internal/stencil/...
@@ -67,4 +67,12 @@ fi
     echo '  ]'
     echo '}'
 } > BENCH_engine.json
+
+# Refuse to leave a malformed trajectory behind: the file is the stable
+# machine-readable contract CI uploads, so a parse error fails the run.
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool BENCH_engine.json > /dev/null
+elif command -v jq >/dev/null 2>&1; then
+    jq -e . BENCH_engine.json > /dev/null
+fi
 echo "wrote BENCH_engine.json"
