@@ -29,6 +29,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of the text table (with -fig)")
 	jsonOut := flag.String("json", "", "emit JSON series instead of text; optional output path argument (\"\" disabled, \"-\" stdout)")
 	attr := flag.Bool("attribution", false, "show the cost model's bottleneck attribution (with -fig)")
+	counters := flag.Bool("counters", false, "show the counter-based bottleneck attribution (with -fig; add -json for the document form)")
 	flag.Parse()
 
 	switch {
@@ -50,6 +51,20 @@ func main() {
 			}
 			fmt.Println(out)
 		}
+	case *fig != "" && *counters && *jsonOut != "":
+		out, err := nustencil.RenderFigureCountersJSON(*fig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeTo(*jsonOut, string(out)+"\n"); err != nil {
+			log.Fatal(err)
+		}
+	case *fig != "" && *counters:
+		out, err := nustencil.RenderFigureCounters(*fig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
 	case *fig != "" && *jsonOut != "":
 		out, err := nustencil.RenderFigureJSON(*fig)
 		if err != nil {

@@ -6,12 +6,18 @@
 //	stencil-run -scheme nuCORALS -dims 130x130x130 -steps 50 -workers 8
 //
 // Machine-readable output: -json <path> writes the run report (rates,
-// per-worker updates, scheduler counters) as JSON, and -trace-json <path>
-// writes the execution timeline in Chrome trace-event format, loadable in
-// Perfetto or chrome://tracing.
+// per-worker updates, scheduler counters) as JSON, -trace-json <path>
+// writes the execution timeline in Chrome trace-event format (loadable in
+// Perfetto or chrome://tracing), -counters-json <path> the simulated
+// performance counters with their bottleneck attribution, and -prom <path>
+// the same counters in Prometheus text format. Every path accepts "-" for
+// stdout; when more than one JSON output targets stdout they are wrapped
+// in a single {"report","trace","counters"} envelope so stdout always
+// carries exactly one JSON document.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -35,14 +41,15 @@ func main() {
 }
 
 // runDoc is the envelope stencil-run -json writes: the configuration the
-// run executed with, the report, and (when tracing was on) the trace
-// digest.
+// run executed with, the report, (when tracing was on) the trace digest,
+// and (when counters were on) the bottleneck attribution.
 type runDoc struct {
-	Dims         []int                   `json:"dims"`
-	Periodic     bool                    `json:"periodic,omitempty"`
-	Pinned       bool                    `json:"pinned,omitempty"`
-	Report       nustencil.Report        `json:"report"`
-	TraceSummary *nustencil.TraceSummary `json:"trace_summary,omitempty"`
+	Dims         []int                       `json:"dims"`
+	Periodic     bool                        `json:"periodic,omitempty"`
+	Pinned       bool                        `json:"pinned,omitempty"`
+	Report       nustencil.Report            `json:"report"`
+	TraceSummary *nustencil.TraceSummary     `json:"trace_summary,omitempty"`
+	Bottleneck   *nustencil.BottleneckReport `json:"bottleneck,omitempty"`
 }
 
 func realMain(args []string, stdout io.Writer) error {
@@ -62,6 +69,10 @@ func realMain(args []string, stdout io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "abort the run after this wall-clock budget, e.g. 30s (0 = none)")
 	jsonPath := fs.String("json", "", "write the run report as JSON to this path (- for stdout)")
 	traceJSONPath := fs.String("trace-json", "", "write the execution timeline as Chrome trace-event JSON to this path (- for stdout)")
+	counters := fs.Bool("counters", false, "collect simulated performance counters and print the bottleneck attribution")
+	countersJSONPath := fs.String("counters-json", "", "write the simulated counters and attribution as JSON to this path (- for stdout; implies -counters)")
+	promPath := fs.String("prom", "", "write the simulated counters in Prometheus text format to this path (- for stdout; implies -counters)")
+	machineName := fs.String("machine", "xeonx7550", "modeled machine pricing the counters: opteron8222, xeonx7550, host")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,7 +104,23 @@ func realMain(args []string, stdout io.Writer) error {
 		cfg.Scheme = nustencil.Naive
 	}
 	traced := *traceW > 0 || *traceJSONPath != ""
-	rep, probe, tr, err := run(ctx, cfg, traced)
+	counted := *counters || *countersJSONPath != "" || *promPath != ""
+	// stdout carries at most one JSON document: "-" outputs buffer here and
+	// either stream directly (one doc) or wrap in a single envelope (more).
+	var stdoutDocs []jsonDoc
+	if *promPath == "-" {
+		for _, p := range []string{*jsonPath, *traceJSONPath, *countersJSONPath} {
+			if p == "-" {
+				return fmt.Errorf("-prom - cannot share stdout with another \"-\" output (Prometheus text cannot join the JSON envelope); write one of them to a file")
+			}
+		}
+	}
+
+	var opts *nustencil.CounterOptions
+	if counted {
+		opts = &nustencil.CounterOptions{Machine: nustencil.MachineName(*machineName)}
+	}
+	rep, probe, tr, pc, err := run(ctx, cfg, traced, opts)
 	if err != nil {
 		return err
 	}
@@ -111,9 +138,12 @@ func realMain(args []string, stdout io.Writer) error {
 	if *traceW > 0 && tr != nil {
 		fmt.Fprint(stdout, tr.Timeline(*traceW))
 	}
+	if *counters && pc != nil {
+		fmt.Fprint(stdout, pc.Describe())
+	}
 
 	if *traceJSONPath != "" && tr != nil {
-		if err := writeOut(*traceJSONPath, stdout, tr.WriteChromeTrace); err != nil {
+		if err := emit(*traceJSONPath, "trace", &stdoutDocs, stdout, tr.WriteChromeTrace); err != nil {
 			return fmt.Errorf("write trace JSON: %w", err)
 		}
 	}
@@ -123,7 +153,11 @@ func realMain(args []string, stdout io.Writer) error {
 			s := tr.Summary()
 			doc.TraceSummary = &s
 		}
-		if err := writeOut(*jsonPath, stdout, func(w io.Writer) error {
+		if pc != nil {
+			br := pc.Bottleneck()
+			doc.Bottleneck = &br
+		}
+		if err := emit(*jsonPath, "report", &stdoutDocs, stdout, func(w io.Writer) error {
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			return enc.Encode(doc)
@@ -131,10 +165,27 @@ func realMain(args []string, stdout io.Writer) error {
 			return fmt.Errorf("write report JSON: %w", err)
 		}
 	}
+	if *countersJSONPath != "" && pc != nil {
+		if err := emit(*countersJSONPath, "counters", &stdoutDocs, stdout, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(pc)
+		}); err != nil {
+			return fmt.Errorf("write counters JSON: %w", err)
+		}
+	}
+	if *promPath != "" && pc != nil {
+		if err := writeOut(*promPath, stdout, pc.WritePrometheus); err != nil {
+			return fmt.Errorf("write Prometheus text: %w", err)
+		}
+	}
+	if err := flushStdoutDocs(stdoutDocs, stdout); err != nil {
+		return err
+	}
 
 	if *verify {
 		cfg.Scheme = nustencil.Naive
-		_, want, _, err := run(ctx, cfg, false)
+		_, want, _, _, err := run(ctx, cfg, false, nil)
 		if err != nil {
 			return err
 		}
@@ -144,6 +195,47 @@ func realMain(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout, "verify     OK (bit-identical to the naive scheme)")
 	}
 	return nil
+}
+
+// jsonDoc is one stdout-destined JSON document, deferred so stdout can
+// carry a single document (or one envelope) no matter how many outputs
+// target it.
+type jsonDoc struct {
+	key   string
+	write func(io.Writer) error
+}
+
+// emit streams f to path, or defers it for the stdout envelope when path
+// is "-".
+func emit(path, key string, docs *[]jsonDoc, stdout io.Writer, f func(io.Writer) error) error {
+	if path == "-" {
+		*docs = append(*docs, jsonDoc{key: key, write: f})
+		return nil
+	}
+	return writeOut(path, stdout, f)
+}
+
+// flushStdoutDocs writes the deferred stdout documents: one document
+// streams as-is; several wrap in a single {"report","trace","counters"}
+// envelope, so stdout never interleaves two JSON documents.
+func flushStdoutDocs(docs []jsonDoc, stdout io.Writer) error {
+	switch len(docs) {
+	case 0:
+		return nil
+	case 1:
+		return docs[0].write(stdout)
+	}
+	env := make(map[string]json.RawMessage, len(docs))
+	for _, d := range docs {
+		var buf bytes.Buffer
+		if err := d.write(&buf); err != nil {
+			return fmt.Errorf("write %s JSON: %w", d.key, err)
+		}
+		env[d.key] = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
 }
 
 // writeOut streams f to path, or to stdout when path is "-".
@@ -162,10 +254,10 @@ func writeOut(path string, stdout io.Writer, f func(io.Writer) error) error {
 	return out.Close()
 }
 
-func run(ctx context.Context, cfg nustencil.Config, traced bool) (nustencil.Report, float64, *nustencil.Trace, error) {
+func run(ctx context.Context, cfg nustencil.Config, traced bool, counted *nustencil.CounterOptions) (nustencil.Report, float64, *nustencil.Trace, *nustencil.PerfCounters, error) {
 	s, err := nustencil.NewSolver(cfg)
 	if err != nil {
-		return nustencil.Report{}, 0, nil, err
+		return nustencil.Report{}, 0, nil, nil, err
 	}
 	// A reproducible, spatially varying initial condition.
 	s.SetInitial(func(pt []int) float64 {
@@ -183,22 +275,28 @@ func run(ctx context.Context, cfg nustencil.Config, traced bool) (nustencil.Repo
 			}
 			return 0.5 / float64(np-1)
 		}); err != nil {
-			return nustencil.Report{}, 0, nil, err
+			return nustencil.Report{}, 0, nil, nil, err
 		}
 	}
 	var rep nustencil.Report
 	var tr *nustencil.Trace
-	if traced {
+	var pc *nustencil.PerfCounters
+	switch {
+	case traced && counted != nil:
+		rep, tr, pc, err = s.RunStepsTraceCountedContext(ctx, cfg.Timesteps, *counted)
+	case traced:
 		rep, tr, err = s.RunStepsTraceContext(ctx, cfg.Timesteps)
-	} else {
+	case counted != nil:
+		rep, pc, err = s.RunStepsCountedContext(ctx, cfg.Timesteps, *counted)
+	default:
 		rep, err = s.RunContext(ctx)
 	}
 	if err != nil {
-		return rep, 0, nil, err
+		return rep, 0, nil, nil, err
 	}
 	probe := make([]int, len(cfg.Dims))
 	for k := range probe {
 		probe[k] = cfg.Dims[k] / 2
 	}
-	return rep, s.Value(probe), tr, nil
+	return rep, s.Value(probe), tr, pc, nil
 }

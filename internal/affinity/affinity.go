@@ -42,6 +42,21 @@ func (f Fixed) NodeOfCore(core int) int {
 	return n
 }
 
+// NumNodes returns the number of NUMA nodes the first workers cores of t
+// span (at least 1). A nil topology is a single node.
+func NumNodes(t Topology, workers int) int {
+	if t == nil {
+		return 1
+	}
+	maxNode := 0
+	for w := 0; w < workers; w++ {
+		if n := t.NodeOfCore(w); n > maxNode {
+			maxNode = n
+		}
+	}
+	return maxNode + 1
+}
+
 // PinCurrentThread binds the calling OS thread to the given CPU on platforms
 // that support it (Linux), and is a documented no-op elsewhere or when the
 // CPU does not exist. Callers must have locked the goroutine to its thread

@@ -60,6 +60,16 @@ type Config struct {
 	// cancellation at no cost: the per-tile check is the same single atomic
 	// status load either way.
 	Ctx context.Context
+	// SampleEvery, when positive and OnSample is set, starts one sampler
+	// goroutine that observes the scheduler at this period for the length
+	// of the run. The sampler reads only atomics the scheduler already
+	// maintains, so the per-tile hot path is unaffected.
+	SampleEvery time.Duration
+	// OnSample receives the periodic scheduler samples. It runs on the
+	// sampler goroutine; the last call happens-before Run returns, so the
+	// callback may fill an unsynchronized buffer the caller reads after
+	// the run.
+	OnSample func(Sample)
 	// Exec runs a tile. Required. A panic inside Exec is recovered,
 	// converted to a *PanicError, and cancels the remaining workers.
 	Exec Exec
@@ -243,6 +253,10 @@ func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 		}
 	}
 
+	stopSampler := startSampler(cfg, func() Sample {
+		return Sample{Ready: st.readyDepth(), Idle: int(st.idle.Load())}
+	})
+
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -259,6 +273,7 @@ func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 		}(w)
 	}
 	wg.Wait()
+	stopSampler()
 	if watcherStop != nil {
 		close(watcherStop)
 	}

@@ -135,6 +135,14 @@ func RunStatic(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 		}
 	}
 
+	stopSampler := startSampler(cfg, func() Sample {
+		ready := int64(len(tiles)) - progress.Load()
+		if ready < 0 {
+			ready = 0
+		}
+		return Sample{Ready: int(ready), Idle: int(waiting.Load())}
+	})
+
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -183,6 +191,7 @@ func RunStatic(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 		}(w)
 	}
 	wg.Wait()
+	stopSampler()
 	if watcherStop != nil {
 		close(watcherStop)
 	}

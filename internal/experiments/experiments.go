@@ -88,32 +88,38 @@ type Data struct {
 	Results [][]metrics.Result
 }
 
+// Workload builds the memsim workload of line ln at n cores — the exact
+// configuration Run prices, exposed so the counter subsystem can predict
+// and attribute the same workloads the figures are built from.
+func (f *Figure) Workload(ln Line, n int) *memsim.Workload {
+	order := ln.Order
+	if order == 0 {
+		order = 1
+	}
+	side := f.Domain.sideFor(n)
+	return &memsim.Workload{
+		Machine:   f.Machine(),
+		Stencil:   f.stencilFor(order),
+		Dims:      cube(side + 2*order),
+		Timesteps: f.Timesteps,
+		Cores:     n,
+	}
+}
+
 // Run regenerates the figure from the machine and cost models.
 func (f *Figure) Run() *Data {
 	cores := f.Cores()
 	models := memsim.Models()
 	d := &Data{Figure: f, Cores: cores}
 	for _, ln := range f.Lines {
-		order := ln.Order
-		if order == 0 {
-			order = 1
-		}
-		st := f.stencilFor(order)
 		row := make([]float64, len(cores))
 		results := make([]metrics.Result, len(cores))
 		var caption float64
 		for j, n := range cores {
-			side := f.Domain.sideFor(n)
-			w := &memsim.Workload{
-				Machine:   f.Machine(),
-				Stencil:   st,
-				Dims:      cube(side + 2*order),
-				Timesteps: f.Timesteps,
-				Cores:     n,
-			}
+			w := f.Workload(ln, n)
 			var res metrics.Result
 			if ln.Bound != "" {
-				res = memsim.BoundResult(ln.Bound, boundGupdates(w.Machine, st, ln.Bound, n), w)
+				res = memsim.BoundResult(ln.Bound, boundGupdates(w.Machine, w.Stencil, ln.Bound, n), w)
 			} else {
 				res = memsim.Predict(models[ln.Scheme], w)
 			}

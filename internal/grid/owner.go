@@ -54,6 +54,19 @@ func (g *Grid) ResetOwnership() {
 // numNodes nodes; index numNodes holds elements on untouched pages.
 func (g *Grid) OwnershipCount(b Box, numNodes int) []int64 {
 	counts := make([]int64, numNodes+1)
+	g.OwnershipCountInto(b, counts)
+	return counts
+}
+
+// OwnershipCountInto is OwnershipCount accumulating into a caller-provided
+// slice of length numNodes+1, zeroed first. Per-tile accounting (the
+// perfcount collector) reuses one scratch slice per worker, keeping the
+// instrumented hot path allocation-free.
+func (g *Grid) OwnershipCountInto(b Box, counts []int64) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	numNodes := len(counts) - 1
 	g.ForEachRow(b, func(off, length int, _ []int) {
 		for length > 0 {
 			p := off / g.pageSize
@@ -73,7 +86,6 @@ func (g *Grid) OwnershipCount(b Box, numNodes int) []int64 {
 			length -= run
 		}
 	})
-	return counts
 }
 
 // LocalFraction returns the fraction of the box's elements whose pages are

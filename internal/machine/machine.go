@@ -220,6 +220,15 @@ func (m *Machine) NodeControllerBandwidth() float64 {
 	return m.SysBandwidth(m.CoresPerSocket)
 }
 
+// InterconnectBandwidth returns the aggregate rate in GB/s at which n cores
+// can pull traffic across sockets: the system bandwidth at that occupancy
+// discounted by the HyperTransport/QPI efficiency (the remote-access
+// penalty of Table I). This is the bound remote-heavy page placements run
+// into.
+func (m *Machine) InterconnectBandwidth(n int) float64 {
+	return m.RemoteFactor * m.SysBandwidth(n)
+}
+
 func (m *Machine) String() string {
 	return fmt.Sprintf("%s: %d sockets × %d cores, %.1f GHz, %d NUMA nodes, sys %.1f GB/s, peak %.1f GFLOPS",
 		m.Name, m.Sockets, m.CoresPerSocket, m.FreqGHz, m.NumNodes(), m.SysBandwidthAgg, m.PeakDPAgg)

@@ -108,44 +108,96 @@ type Model interface {
 	Traffic(w *Workload) Traffic
 }
 
+// BoundTerms decomposes an execution-time estimate into the model's
+// competing bounds, each in seconds. Predict derives them from a scheme's
+// analytic traffic; the perfcount attribution engine derives them from a
+// run's simulated counters — both pick the binding term with Binding, so
+// prediction and attribution can never disagree on tie-breaking.
+type BoundTerms struct {
+	Comp   float64 // compute roofline (PeakDP)
+	LLC    float64 // last-level-cache bandwidth (LL1Band0C)
+	Even   float64 // evenly placed main-memory traffic (SysBand)
+	Ctrl   float64 // the hottest node's memory controller
+	Remote float64 // interconnect crossings at the remote-access penalty
+}
+
+// Binding returns the binding term's seconds and bottleneck name
+// ("compute", "llc", "memory", "controller" or "interconnect"). Ties keep
+// the earlier term of the composition: compute before llc before the
+// memory terms, and even placement before controller before interconnect —
+// the strict-greater chain of the paper's bottleneck reasoning.
+func (b BoundTerms) Binding() (float64, string) {
+	tMem, memName := b.Even, "memory"
+	if b.Ctrl > tMem {
+		tMem, memName = b.Ctrl, "controller"
+	}
+	if b.Remote > tMem {
+		tMem, memName = b.Remote, "interconnect"
+	}
+	t, name := b.Comp, "compute"
+	if b.LLC > t {
+		t, name = b.LLC, "llc"
+	}
+	if tMem > t {
+		t, name = tMem, memName
+	}
+	return t, name
+}
+
+// Margin returns how decisively the binding term binds: its seconds over
+// the largest other term's (1.0 = a tie; 0 when no other term is
+// positive).
+func (b BoundTerms) Margin() float64 {
+	t, _ := b.Binding()
+	runner, skipped := 0.0, false
+	for _, v := range [...]float64{b.Comp, b.LLC, b.Even, b.Ctrl, b.Remote} {
+		if v == t && !skipped {
+			skipped = true
+			continue
+		}
+		if v > runner {
+			runner = v
+		}
+	}
+	if runner <= 0 {
+		return 0
+	}
+	return t / runner
+}
+
+// Terms prices a scheme's traffic against the machine's bandwidth
+// hierarchy: the bound decomposition Predict selects its bottleneck from,
+// before overhead and parallel-fraction scaling.
+func Terms(m Model, w *Workload) BoundTerms {
+	tr := m.Traffic(w)
+	mach := w.Machine
+	n := w.Cores
+	U := float64(w.Updates())
+
+	mainBytes := U * tr.MainWords * 8
+	a := mach.ActiveNodes(n)
+	perNode := mainBytes
+	if !tr.OnNode0 && a > 0 {
+		perNode = mainBytes / float64(a)
+	}
+	return BoundTerms{
+		Comp:   U * float64(w.Stencil.FlopsPerUpdate()) / (mach.PeakDP(n) * 1e9),
+		LLC:    U * tr.LLCWords * 8 / (mach.LLCBandwidth(n) * machine.GB),
+		Even:   mainBytes / (mach.SysBandwidth(n) * machine.GB),
+		Ctrl:   perNode / (mach.NodeControllerBandwidth() * machine.GB),
+		Remote: mainBytes * (1 - tr.LocalFrac) / (mach.InterconnectBandwidth(n) * machine.GB),
+	}
+}
+
 // Predict composes a scheme's traffic with the machine's bandwidth
 // hierarchy into a predicted Result.
 func Predict(m Model, w *Workload) metrics.Result {
 	tr := m.Traffic(w)
 	mach := w.Machine
 	n := w.Cores
-	U := float64(w.Updates())
 
-	tComp := U * float64(w.Stencil.FlopsPerUpdate()) / (mach.PeakDP(n) * 1e9)
-	tLLC := U * tr.LLCWords * 8 / (mach.LLCBandwidth(n) * machine.GB)
-
-	mainBytes := U * tr.MainWords * 8
-	tEven := mainBytes / (mach.SysBandwidth(n) * machine.GB)
-	a := mach.ActiveNodes(n)
-	perNode := mainBytes
-	if !tr.OnNode0 && a > 0 {
-		perNode = mainBytes / float64(a)
-	}
-	tCtrl := perNode / (mach.NodeControllerBandwidth() * machine.GB)
-	tRemote := mainBytes * (1 - tr.LocalFrac) /
-		(mach.RemoteFactor * mach.SysBandwidth(n) * machine.GB)
-
-	tMem := tEven
-	memName := "memory"
-	if tCtrl > tMem {
-		tMem, memName = tCtrl, "controller"
-	}
-	if tRemote > tMem {
-		tMem, memName = tRemote, "interconnect"
-	}
-
-	t, bottleneck := tComp, "compute"
-	if tLLC > t {
-		t, bottleneck = tLLC, "llc"
-	}
-	if tMem > t {
-		t, bottleneck = tMem, memName
-	}
+	terms := Terms(m, w)
+	t, bottleneck := terms.Binding()
 	if tr.Overhead < 1 {
 		tr.Overhead = 1
 	}
@@ -169,6 +221,7 @@ func Predict(m Model, w *Workload) metrics.Result {
 			LocalFrac:  tr.LocalFrac,
 			Bottleneck: bottleneck,
 			Overhead:   tr.Overhead,
+			Margin:     terms.Margin(),
 		},
 	}
 }

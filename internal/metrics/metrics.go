@@ -139,4 +139,7 @@ type Traffic struct {
 	// Overhead is the multiplicative inefficiency applied (control logic,
 	// synchronization, pipeline fill).
 	Overhead float64 `json:"overhead"`
+	// Margin is how decisively the bottleneck binds: the binding term's
+	// seconds over the runner-up term's (1.0 = a tie; 0 when unknown).
+	Margin float64 `json:"margin,omitempty"`
 }

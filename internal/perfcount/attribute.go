@@ -1,0 +1,140 @@
+package perfcount
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"nustencil/internal/machine"
+	"nustencil/internal/memsim"
+	"nustencil/internal/stencil"
+)
+
+// Attribution is the counter-backed answer to "what limits this run": each
+// analytic bound priced in seconds against the measured (simulated)
+// traffic, the binding bound, and how decisively it binds.
+type Attribution struct {
+	Machine string `json:"machine"`
+	Cores   int    `json:"cores"`
+	// Binding names the bound that binds: "PeakDP", "LL1Band0C",
+	// "SysBandIC", "SysBand0C", "Controller" or "Interconnect".
+	Binding string `json:"binding"`
+	// Bottleneck is the same verdict in memsim.Predict's vocabulary
+	// ("compute", "llc", "memory", "controller", "interconnect"), for
+	// cross-checking against the cost model's prediction.
+	Bottleneck string `json:"bottleneck"`
+	// Margin is the binding bound's seconds over the runner-up's (1.0 = a
+	// tie; the higher, the more decisive).
+	Margin float64 `json:"margin"`
+	// HottestNode is the node whose controller served the most bytes.
+	HottestNode int `json:"hottest_node"`
+	// ModelSeconds is the binding bound's time — with every bound a lower
+	// bound, the counters' floor on the run time.
+	ModelSeconds float64 `json:"model_seconds"`
+	// MeasuredSeconds is the run's wall-clock time when known (0 for
+	// purely predicted counters).
+	MeasuredSeconds float64 `json:"measured_seconds,omitempty"`
+	// Bounds lists every bound's seconds, descending — the full roofline
+	// picture, not just the verdict.
+	Bounds []BoundCost `json:"bounds"`
+}
+
+// BoundCost is one analytic bound priced in seconds.
+type BoundCost struct {
+	Bound   string  `json:"bound"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Attribute prices a run's counters against mach's bandwidth hierarchy and
+// names the binding analytic bound — the paper's per-figure bottleneck
+// reasoning as a checkable report. st is the run's stencil; it
+// disambiguates the even-placement memory bound (traffic near the
+// compulsory volume reads as SysBandIC, near the zero-caching volume as
+// SysBand0C). cores is the modeled core count the bandwidths are taken at
+// (the run's worker count), clamped to the machine; measured is the
+// observed wall-clock seconds, 0 when unknown.
+func Attribute(c *Counters, mach *machine.Machine, st *stencil.Stencil, cores int, measured float64) Attribution {
+	n := cores
+	if n < 1 {
+		n = 1
+	}
+	if n > mach.NumCores() {
+		n = mach.NumCores()
+	}
+	hotNode, hotBytes := c.HottestNode()
+	terms := memsim.BoundTerms{
+		Comp:   float64(c.Flops()) / (mach.PeakDP(n) * 1e9),
+		LLC:    float64(c.LLCBytes()) / (mach.LLCBandwidth(n) * machine.GB),
+		Even:   float64(c.MainBytes()) / (mach.SysBandwidth(n) * machine.GB),
+		Ctrl:   float64(hotBytes) / (mach.NodeControllerBandwidth() * machine.GB),
+		Remote: float64(c.RemoteBytes()) / (mach.InterconnectBandwidth(n) * machine.GB),
+	}
+	sec, name := terms.Binding()
+	evenName := evenBoundName(c, st)
+	boundOf := map[string]string{
+		"compute":      "PeakDP",
+		"llc":          "LL1Band0C",
+		"memory":       evenName,
+		"controller":   "Controller",
+		"interconnect": "Interconnect",
+	}
+	bounds := []BoundCost{
+		{Bound: "PeakDP", Seconds: terms.Comp},
+		{Bound: "LL1Band0C", Seconds: terms.LLC},
+		{Bound: evenName, Seconds: terms.Even},
+		{Bound: "Controller", Seconds: terms.Ctrl},
+		{Bound: "Interconnect", Seconds: terms.Remote},
+	}
+	sort.SliceStable(bounds, func(i, j int) bool { return bounds[i].Seconds > bounds[j].Seconds })
+	return Attribution{
+		Machine:         mach.Name,
+		Cores:           n,
+		Binding:         boundOf[name],
+		Bottleneck:      name,
+		Margin:          terms.Margin(),
+		HottestNode:     hotNode,
+		ModelSeconds:    sec,
+		MeasuredSeconds: measured,
+		Bounds:          bounds,
+	}
+}
+
+// evenBoundName classifies the even-placement memory term by measured
+// traffic volume: words per update nearer the compulsory IdealReads+1 is
+// the ideal-caching system-bandwidth bound, nearer Reads+1 the
+// zero-caching one.
+func evenBoundName(c *Counters, st *stencil.Stencil) string {
+	if st == nil || c.Updates == 0 {
+		return "SysBandIC"
+	}
+	wpu := float64(c.MainBytes()) / 8 / float64(c.Updates)
+	ic := float64(st.IdealReadsPerUpdate() + 1)
+	zc := float64(st.ReadsPerUpdate() + 1)
+	if math.Abs(wpu-ic) <= math.Abs(wpu-zc) {
+		return "SysBandIC"
+	}
+	return "SysBand0C"
+}
+
+// String renders the attribution as an aligned text block: the verdict
+// line, then every bound's seconds with the binding one marked.
+func (a Attribution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bottleneck %s (%s) on %s with %d cores", a.Binding, a.Bottleneck, a.Machine, a.Cores)
+	if a.Margin > 0 {
+		fmt.Fprintf(&b, ", margin %.2fx", a.Margin)
+	}
+	b.WriteByte('\n')
+	if a.MeasuredSeconds > 0 {
+		fmt.Fprintf(&b, "  measured %.6f s (model floor %.6f s)\n", a.MeasuredSeconds, a.ModelSeconds)
+	}
+	for _, bc := range a.Bounds {
+		mark := ""
+		if bc.Bound == a.Binding {
+			mark = "  <- binding"
+		}
+		fmt.Fprintf(&b, "  %-13s %12.6f s%s\n", bc.Bound, bc.Seconds, mark)
+	}
+	return b.String()
+}

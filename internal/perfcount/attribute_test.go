@@ -1,0 +1,118 @@
+package perfcount
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nustencil/internal/machine"
+	"nustencil/internal/memsim"
+)
+
+// TestAttributeAgreesWithPredict is the acceptance gate: attribution over
+// model-predicted counters names the same binding bottleneck as
+// memsim.Predict for the Table-I weak-scaling workloads — every scheme,
+// both machines, all power-of-two core counts.
+func TestAttributeAgreesWithPredict(t *testing.T) {
+	machines := []*machine.Machine{machine.Opteron8222(), machine.XeonX7550()}
+	models := memsim.Models()
+	for _, m := range machines {
+		for name, model := range models {
+			for _, n := range coreCounts(m) {
+				w := weakWorkload(m, n)
+				res := memsim.Predict(model, w)
+				if res.Traffic == nil {
+					t.Fatalf("%s/%s n=%d: Predict returned no traffic", m.Name, name, n)
+				}
+				c := FromModel(model, w)
+				attr := Attribute(c, m, w.Stencil, n, 0)
+				if attr.Bottleneck != res.Traffic.Bottleneck {
+					t.Errorf("%s/%s n=%d: attribution says %q (%s), Predict says %q",
+						m.Name, name, n, attr.Bottleneck, attr.Binding, res.Traffic.Bottleneck)
+				}
+				if res.Traffic.Margin > 0 {
+					rel := math.Abs(attr.Margin-res.Traffic.Margin) / res.Traffic.Margin
+					if rel > 1e-6 {
+						t.Errorf("%s/%s n=%d: margin %.9f, Predict margin %.9f",
+							m.Name, name, n, attr.Margin, res.Traffic.Margin)
+					}
+				}
+				if attr.ModelSeconds <= 0 {
+					t.Errorf("%s/%s n=%d: non-positive model seconds %g",
+						m.Name, name, n, attr.ModelSeconds)
+				}
+				if len(attr.Bounds) != 5 {
+					t.Fatalf("%s/%s n=%d: %d bounds, want 5", m.Name, name, n, len(attr.Bounds))
+				}
+				for i := 1; i < len(attr.Bounds); i++ {
+					if attr.Bounds[i].Seconds > attr.Bounds[i-1].Seconds {
+						t.Errorf("%s/%s n=%d: bounds not sorted: %v", m.Name, name, n, attr.Bounds)
+					}
+				}
+				if attr.Bounds[0].Bound != attr.Binding {
+					t.Errorf("%s/%s n=%d: top bound %q != binding %q",
+						m.Name, name, n, attr.Bounds[0].Bound, attr.Binding)
+				}
+			}
+		}
+	}
+}
+
+// TestAttributeBoundNames checks the bound vocabulary covers the paper's
+// analytic bounds and that the memory verdict picks the nearer of the
+// ideal-caching and zero-caching system-bandwidth bounds.
+func TestAttributeBoundNames(t *testing.T) {
+	m := machine.XeonX7550()
+	models := memsim.Models()
+	known := map[string]bool{
+		"PeakDP": true, "LL1Band0C": true, "SysBandIC": true,
+		"SysBand0C": true, "Controller": true, "Interconnect": true,
+	}
+	for name, model := range models {
+		w := weakWorkload(m, m.NumCores())
+		c := FromModel(model, w)
+		attr := Attribute(c, m, w.Stencil, m.NumCores(), 0)
+		if !known[attr.Binding] {
+			t.Errorf("%s: unknown binding bound %q", name, attr.Binding)
+		}
+		for _, bc := range attr.Bounds {
+			if !known[bc.Bound] {
+				t.Errorf("%s: unknown bound %q in roofline list", name, bc.Bound)
+			}
+		}
+	}
+
+	// The even-placement memory bound reads as ideal-caching or
+	// zero-caching by which traffic volume the counters sit nearer.
+	w := weakWorkload(m, m.NumCores())
+	st := w.Stencil
+	mkCounters := func(wordsPerUpdate int) *Counters {
+		const updates = 1000
+		return &Counters{
+			Updates: updates,
+			PerNode: []NodeCounters{{ControllerBytes: updates * int64(wordsPerUpdate) * 8}},
+		}
+	}
+	if got := evenBoundName(mkCounters(st.ReadsPerUpdate()+1), st); got != "SysBand0C" {
+		t.Errorf("zero-caching volume even bound = %q, want SysBand0C", got)
+	}
+	if got := evenBoundName(mkCounters(st.IdealReadsPerUpdate()+1), st); got != "SysBandIC" {
+		t.Errorf("compulsory volume even bound = %q, want SysBandIC", got)
+	}
+	if got := evenBoundName(&Counters{}, st); got != "SysBandIC" {
+		t.Errorf("empty counters even bound = %q, want SysBandIC", got)
+	}
+}
+
+func TestAttributionString(t *testing.T) {
+	m := machine.Opteron8222()
+	w := weakWorkload(m, 16)
+	c := FromModel(memsim.Models()["CATS"], w)
+	attr := Attribute(c, m, w.Stencil, 16, 1.25)
+	s := attr.String()
+	for _, want := range []string{"bottleneck", attr.Binding, "<- binding", "measured 1.25"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package perfcount
+
+import (
+	"math"
+	"testing"
+
+	"nustencil/internal/machine"
+	"nustencil/internal/memsim"
+	"nustencil/internal/stencil"
+)
+
+// weakWorkload is the paper's weak-scaling configuration: one cube of
+// 200³ points per core (Section IV-B), order-1 star.
+func weakWorkload(m *machine.Machine, n int) *memsim.Workload {
+	side := int(math.Round(200 * math.Cbrt(float64(n))))
+	st := stencil.NewStar(3, 1)
+	return &memsim.Workload{
+		Machine:   m,
+		Stencil:   st,
+		Dims:      []int{side + 2, side + 2, side + 2},
+		Timesteps: 5,
+		Cores:     n,
+	}
+}
+
+func coreCounts(m *machine.Machine) []int {
+	var out []int
+	for n := 1; n <= m.NumCores(); n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// TestFromModelConservation pins the conservation property: for every
+// scheme on both Table-I machines, the predicted per-node controller
+// traffic, the per-node requester traffic (local+remote), and the
+// per-worker main-memory bytes all sum to the model's total predicted
+// main-memory traffic.
+func TestFromModelConservation(t *testing.T) {
+	machines := []*machine.Machine{machine.Opteron8222(), machine.XeonX7550()}
+	models := memsim.Models()
+	for _, m := range machines {
+		for name, model := range models {
+			for _, n := range coreCounts(m) {
+				w := weakWorkload(m, n)
+				tr := model.Traffic(w)
+				want := float64(w.Updates()) * tr.MainWords * 8
+				c := FromModel(model, w)
+
+				const eps = 1e-6 // relative; sums are exact by construction
+				tol := eps*want + 1
+				if got := float64(c.MainBytes()); math.Abs(got-want) > tol {
+					t.Errorf("%s/%s n=%d: controller sum %.0f, model total %.0f",
+						m.Name, name, n, got, want)
+				}
+				if got := float64(c.LocalBytes() + c.RemoteBytes()); math.Abs(got-want) > tol {
+					t.Errorf("%s/%s n=%d: local+remote sum %.0f, model total %.0f",
+						m.Name, name, n, got, want)
+				}
+				var wkSum int64
+				for _, wc := range c.PerWorker {
+					wkSum += wc.MainBytes
+				}
+				if got := float64(wkSum); math.Abs(got-want) > tol {
+					t.Errorf("%s/%s n=%d: per-worker main sum %.0f, model total %.0f",
+						m.Name, name, n, got, want)
+				}
+
+				// Per-node requester traffic never exceeds its share and the
+				// two views agree node count wise.
+				if len(c.PerNode) != m.NumNodes() {
+					t.Fatalf("%s/%s n=%d: %d node slots, want %d",
+						m.Name, name, n, len(c.PerNode), m.NumNodes())
+				}
+				for _, nd := range c.PerNode {
+					if nd.LocalBytes < 0 || nd.RemoteBytes < 0 || nd.ControllerBytes < 0 {
+						t.Errorf("%s/%s n=%d node %d: negative counter %+v",
+							m.Name, name, n, nd.Node, nd)
+					}
+				}
+
+				// Updates and flops fold exactly.
+				if c.Updates != w.Updates() {
+					t.Errorf("%s/%s n=%d: updates %d, want %d",
+						m.Name, name, n, c.Updates, w.Updates())
+				}
+				wantFlops := w.Updates() * int64(w.Stencil.FlopsPerUpdate())
+				if got := c.Flops(); got != wantFlops {
+					t.Errorf("%s/%s n=%d: flops %d, want %d",
+						m.Name, name, n, got, wantFlops)
+				}
+				wantLLC := float64(w.Updates()) * tr.LLCWords * 8
+				if got := float64(c.LLCBytes()); math.Abs(got-wantLLC) > eps*wantLLC+1 {
+					t.Errorf("%s/%s n=%d: llc bytes %.0f, want %.0f",
+						m.Name, name, n, got, wantLLC)
+				}
+			}
+		}
+	}
+}
+
+// TestFromModelPlacement checks the server-side placement follows the
+// model: NUMA-ignorant schemes put every byte on node 0, NUMA-aware ones
+// spread evenly over the active nodes.
+func TestFromModelPlacement(t *testing.T) {
+	m := machine.XeonX7550()
+	models := memsim.Models()
+	for name, model := range models {
+		n := m.NumCores()
+		w := weakWorkload(m, n)
+		tr := model.Traffic(w)
+		c := FromModel(model, w)
+		if tr.OnNode0 {
+			for _, nd := range c.PerNode[1:] {
+				if nd.ControllerBytes != 0 {
+					t.Errorf("%s: OnNode0 but node %d serves %d bytes",
+						name, nd.Node, nd.ControllerBytes)
+				}
+			}
+			hot, _ := c.HottestNode()
+			if c.MainBytes() > 0 && hot != 0 {
+				t.Errorf("%s: OnNode0 but hottest node %d", name, hot)
+			}
+		} else if c.MainBytes() > 0 {
+			a := m.ActiveNodes(n)
+			even := float64(c.MainBytes()) / float64(a)
+			for d := 0; d < a; d++ {
+				got := float64(c.PerNode[d].ControllerBytes)
+				if math.Abs(got-even) > 1 {
+					t.Errorf("%s: node %d serves %.0f bytes, want even %.0f",
+						name, d, got, even)
+				}
+			}
+		}
+	}
+}

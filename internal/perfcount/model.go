@@ -1,0 +1,97 @@
+package perfcount
+
+import (
+	"math"
+
+	"nustencil/internal/memsim"
+)
+
+// FromModel predicts the counters a run of w would produce under m's
+// traffic model: the same per-update pricing the Collector applies tile by
+// tile, collapsed analytically. Server-side controller traffic follows the
+// model's placement — everything on node 0 for NUMA-ignorant first touch
+// (Traffic.OnNode0), an even split over the active nodes otherwise — and
+// requester-side traffic splits by Traffic.LocalFrac, exactly the inputs
+// memsim.Predict prices its memory terms from. Attribute on these counters
+// therefore reproduces Predict's bottleneck term, and the per-node
+// controller bytes sum to the model's total predicted main-memory traffic
+// (the conservation property).
+func FromModel(m memsim.Model, w *memsim.Workload) *Counters {
+	tr := m.Traffic(w)
+	mach := w.Machine
+	n := w.Cores
+	if n < 1 {
+		n = 1
+	}
+	U := w.Updates()
+	nodes := mach.NumNodes()
+	a := mach.ActiveNodes(n)
+	if a < 1 {
+		a = 1
+	}
+	if a > nodes {
+		a = nodes
+	}
+	mainBytes := float64(U) * tr.MainWords * 8
+	llcBytes := float64(U) * tr.LLCWords * 8
+	flops := U * int64(w.Stencil.FlopsPerUpdate())
+
+	c := &Counters{
+		Workers:   n,
+		Nodes:     nodes,
+		Updates:   U,
+		PerWorker: make([]WorkerCounters, n),
+		PerNode:   make([]NodeCounters, nodes),
+	}
+	for i := range c.PerNode {
+		c.PerNode[i].Node = i
+	}
+	// Workers split the work evenly — the weak-scaling workloads these
+	// predictions model are balanced by construction.
+	for wk := 0; wk < n; wk++ {
+		c.PerWorker[wk] = WorkerCounters{
+			Worker:    wk,
+			Node:      mach.NodeOfCore(wk),
+			Updates:   intShare(U, wk, n),
+			Flops:     intShare(flops, wk, n),
+			LLCBytes:  byteShare(llcBytes, wk, n),
+			MainBytes: byteShare(mainBytes, wk, n),
+		}
+	}
+	// Server side: who delivers the bytes.
+	if tr.OnNode0 {
+		c.PerNode[0].ControllerBytes = int64(math.Round(mainBytes))
+	} else {
+		for d := 0; d < a; d++ {
+			c.PerNode[d].ControllerBytes = byteShare(mainBytes, d, a)
+		}
+	}
+	// Requester side: each active node's workers pull an even share,
+	// LocalFrac of it from their own controller. (The aggregate matches the
+	// model; how an individual NUMA-ignorant run distributes its luck does
+	// not affect any bound.)
+	for d := 0; d < a; d++ {
+		share := byteShare(mainBytes, d, a)
+		local := int64(math.Round(float64(share) * tr.LocalFrac))
+		if local > share {
+			local = share
+		}
+		c.PerNode[d].LocalBytes = local
+		c.PerNode[d].RemoteBytes = share - local
+	}
+	return c
+}
+
+// intShare splits total over n slots with the remainder spread so the
+// slots sum to total exactly.
+func intShare(total int64, i, n int) int64 {
+	return total*int64(i+1)/int64(n) - total*int64(i)/int64(n)
+}
+
+// byteShare splits a float byte total into integer slots that sum to
+// round(total) exactly: slot i gets round(total·(i+1)/n) − round(total·i/n).
+func byteShare(total float64, i, n int) int64 {
+	hi := math.Round(total * float64(i+1) / float64(n))
+	lo := math.Round(total * float64(i) / float64(n))
+	return int64(hi) - int64(lo)
+}

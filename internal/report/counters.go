@@ -1,0 +1,97 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"nustencil/internal/experiments"
+	"nustencil/internal/memsim"
+	"nustencil/internal/perfcount"
+)
+
+// counterAttributions predicts the counters of every scheme line at every
+// core count with the figure's cost models and attributes each to its
+// binding analytic bound.
+func counterAttributions(d *experiments.Data) (labels []string, schemes []string, attrs [][]perfcount.Attribution) {
+	models := memsim.Models()
+	for _, ln := range d.Figure.Lines {
+		if ln.Scheme == "" {
+			continue
+		}
+		row := make([]perfcount.Attribution, len(d.Cores))
+		for j, n := range d.Cores {
+			w := d.Figure.Workload(ln, n)
+			c := perfcount.FromModel(models[ln.Scheme], w)
+			row[j] = perfcount.Attribute(c, w.Machine, w.Stencil, n, 0)
+		}
+		labels = append(labels, ln.Label)
+		schemes = append(schemes, ln.Scheme)
+		attrs = append(attrs, row)
+	}
+	return labels, schemes, attrs
+}
+
+// Counters renders a figure's counter-based bottleneck attribution: the
+// binding analytic bound (and its margin over the runner-up) for every
+// scheme line at every core count, derived from model-predicted
+// performance counters rather than read off the prediction directly.
+func Counters(d *experiments.Data) string {
+	labels, _, attrs := counterAttributions(d)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: counter attribution (binding bound, margin over runner-up)\n",
+		strings.ToUpper(d.Figure.ID))
+	fmt.Fprintf(&b, "%-6s", "cores")
+	for _, label := range labels {
+		fmt.Fprintf(&b, " %19s", label)
+	}
+	b.WriteByte('\n')
+	for j, n := range d.Cores {
+		fmt.Fprintf(&b, "%-6d", n)
+		for i := range labels {
+			a := attrs[i][j]
+			fmt.Fprintf(&b, " %19s", fmt.Sprintf("%s %.2fx", a.Binding, a.Margin))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CountersDoc is the machine-readable counter attribution of one figure.
+type CountersDoc struct {
+	ID      string           `json:"id"`
+	Machine string           `json:"machine"`
+	Cores   []int            `json:"cores"`
+	Lines   []CounterLineDoc `json:"lines"`
+}
+
+// CounterLineDoc is one scheme line's attributions, one per core count.
+type CounterLineDoc struct {
+	Label        string                  `json:"label"`
+	Scheme       string                  `json:"scheme"`
+	Attributions []perfcount.Attribution `json:"attributions"`
+}
+
+// CountersDocOf converts a regenerated figure to its counter-attribution
+// document.
+func CountersDocOf(d *experiments.Data) CountersDoc {
+	labels, schemes, attrs := counterAttributions(d)
+	doc := CountersDoc{
+		ID:      d.Figure.ID,
+		Machine: d.Figure.Machine().Name,
+		Cores:   d.Cores,
+	}
+	for i := range labels {
+		doc.Lines = append(doc.Lines, CounterLineDoc{
+			Label:        labels[i],
+			Scheme:       schemes[i],
+			Attributions: attrs[i],
+		})
+	}
+	return doc
+}
+
+// CountersJSON renders a figure's counter attribution as indented JSON.
+func CountersJSON(d *experiments.Data) ([]byte, error) {
+	return json.MarshalIndent(CountersDocOf(d), "", "  ")
+}

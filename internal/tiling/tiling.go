@@ -55,16 +55,7 @@ func (p *Problem) NodeOfWorker(w int) int {
 // NumNodes returns the number of NUMA nodes implied by the topology over
 // the active workers (at least 1).
 func (p *Problem) NumNodes() int {
-	if p.Topo == nil {
-		return 1
-	}
-	maxNode := 0
-	for w := 0; w < p.Workers; w++ {
-		if n := p.Topo.NodeOfCore(w); n > maxNode {
-			maxNode = n
-		}
-	}
-	return maxNode + 1
+	return affinity.NumNodes(p.Topo, p.Workers)
 }
 
 // Validate checks the problem is well formed.

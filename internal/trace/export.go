@@ -30,8 +30,9 @@ type chromeTrace struct {
 // Perfetto or chrome://tracing: one track (tid) per worker, one complete
 // ("ph":"X") event per recorded tile carrying the tile ID, timestep range
 // and update count as args, plus thread_name metadata naming each of the
-// workers tracks. Events are emitted sorted by start time. It must not be
-// called concurrently with Record.
+// workers tracks and one counter ("ph":"C") event per sample of every
+// track added with AddCounter. Events are emitted sorted by start time. It
+// must not be called concurrently with Record.
 func (tr *Trace) WriteChromeTrace(w io.Writer, workers int) error {
 	evs := tr.collect()
 	doc := chromeTrace{
@@ -46,6 +47,17 @@ func (tr *Trace) WriteChromeTrace(w io.Writer, workers int) error {
 			Tid:  wk,
 			Args: map[string]any{"name": fmt.Sprintf("worker %d", wk)},
 		})
+	}
+	for _, cs := range tr.counters {
+		for _, p := range cs.points {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: cs.name,
+				Ph:   "C",
+				Ts:   float64(p.ts) / 1e3,
+				Pid:  0,
+				Args: map[string]any{"value": p.v},
+			})
+		}
 	}
 	for _, e := range evs {
 		dur := float64(e.End-e.Start) / 1e3

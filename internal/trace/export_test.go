@@ -177,3 +177,58 @@ func TestTimelineRendersTail(t *testing.T) {
 		t.Errorf("tail event rendered as idle: %q", w1)
 	}
 }
+
+// Counter tracks added with AddCounter come out as "ph":"C" events with the
+// series value in args and microsecond timestamps relative to the origin.
+func TestWriteChromeTraceCounters(t *testing.T) {
+	t0 := time.Now()
+	tr := NewForWorkers(1)
+	tr.origin = t0
+	tr.Record(0, 1, 0, 1, 5, t0, t0.Add(time.Millisecond))
+	tr.AddCounter("ready tiles", t0.Add(100*time.Microsecond), 7)
+	tr.AddCounter("ready tiles", t0.Add(300*time.Microsecond), 3)
+	tr.AddCounter("idle workers", t0.Add(100*time.Microsecond), 0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	got := map[string][]float64{} // name -> values in emission order
+	ts := map[string][]float64{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "C" {
+			continue
+		}
+		v, ok := e.Args["value"].(float64)
+		if !ok {
+			t.Fatalf("counter %q args %v lack a numeric value", e.Name, e.Args)
+		}
+		got[e.Name] = append(got[e.Name], v)
+		ts[e.Name] = append(ts[e.Name], e.Ts)
+	}
+	if want := []float64{7, 3}; !floatsEqual(got["ready tiles"], want) {
+		t.Errorf("ready tiles values = %v, want %v", got["ready tiles"], want)
+	}
+	if want := []float64{0}; !floatsEqual(got["idle workers"], want) {
+		t.Errorf("idle workers values = %v, want %v", got["idle workers"], want)
+	}
+	if want := []float64{100, 300}; !floatsEqual(ts["ready tiles"], want) {
+		t.Errorf("ready tiles timestamps = %v µs, want %v", ts["ready tiles"], want)
+	}
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -42,9 +42,43 @@ type Trace struct {
 	events []Event // fallback for New() traces and out-of-range workers
 	shards []shard // one per worker; each written only by that worker
 
+	// counters holds the named quantitative tracks ("ph":"C" in the Chrome
+	// export), in first-use order.
+	counters []counterSeries
+
 	// sorts counts how many times the event list was collected and sorted,
 	// so tests can assert that rendering derives it exactly once per call.
 	sorts int
+}
+
+// counterSeries is one named counter track.
+type counterSeries struct {
+	name   string
+	points []counterPoint
+}
+
+// counterPoint is one sample of a counter track, at an offset from the
+// trace origin.
+type counterPoint struct {
+	ts time.Duration
+	v  float64
+}
+
+// AddCounter appends one sample to the named counter track (created on
+// first use). at is an absolute time, like Record's start/end; the Chrome
+// export renders each track as a quantitative lane above the workers.
+// AddCounter is not safe for concurrent use with itself or with readers —
+// callers feed tracks after the run, from samples they buffered while it
+// ran.
+func (tr *Trace) AddCounter(name string, at time.Time, v float64) {
+	p := counterPoint{ts: at.Sub(tr.origin), v: v}
+	for i := range tr.counters {
+		if tr.counters[i].name == name {
+			tr.counters[i].points = append(tr.counters[i].points, p)
+			return
+		}
+	}
+	tr.counters = append(tr.counters, counterSeries{name: name, points: []counterPoint{p}})
 }
 
 // New returns an empty trace starting now. Record serializes on a mutex;

@@ -11,6 +11,9 @@ import (
 	"nustencil/internal/affinity"
 	"nustencil/internal/engine"
 	"nustencil/internal/grid"
+	"nustencil/internal/machine"
+	"nustencil/internal/memsim"
+	"nustencil/internal/perfcount"
 	"nustencil/internal/spacetime"
 	"nustencil/internal/stencil"
 	"nustencil/internal/tiling"
@@ -354,14 +357,46 @@ func (s *Solver) RunContext(ctx context.Context) (Report, error) {
 
 // RunSteps advances the grid by an explicit number of timesteps.
 func (s *Solver) RunSteps(timesteps int) (Report, error) {
-	rep, _, err := s.runSteps(nil, timesteps, false)
+	rep, _, _, err := s.runSteps(nil, timesteps, false, nil)
 	return rep, err
 }
 
 // RunStepsContext is RunSteps bounded by ctx (see RunContext).
 func (s *Solver) RunStepsContext(ctx context.Context, timesteps int) (Report, error) {
-	rep, _, err := s.runSteps(ctx, timesteps, false)
+	rep, _, _, err := s.runSteps(ctx, timesteps, false, nil)
 	return rep, err
+}
+
+// RunStepsCounted is RunSteps with simulated performance counters: the run
+// is instrumented tile by tile — traffic priced with the scheme's cost
+// model on the machine opts selects, attributed to NUMA nodes through the
+// grid's page ownership — and the folded counters arrive with a bottleneck
+// attribution naming the analytic bound that binds the run. Collection
+// adds one timestamp pair per tile and no shared atomics.
+func (s *Solver) RunStepsCounted(timesteps int, opts CounterOptions) (Report, *PerfCounters, error) {
+	rep, _, pc, err := s.runSteps(nil, timesteps, false, &opts)
+	return rep, pc, err
+}
+
+// RunStepsCountedContext is RunStepsCounted bounded by ctx (see
+// RunContext).
+func (s *Solver) RunStepsCountedContext(ctx context.Context, timesteps int, opts CounterOptions) (Report, *PerfCounters, error) {
+	rep, _, pc, err := s.runSteps(ctx, timesteps, false, &opts)
+	return rep, pc, err
+}
+
+// RunStepsTraceCounted combines RunStepsTrace and RunStepsCounted: the
+// returned trace additionally carries the scheduler samples as Chrome
+// trace counter tracks ("ph":"C" events — ready tiles and idle workers
+// render as graphs above the worker lanes in Perfetto).
+func (s *Solver) RunStepsTraceCounted(timesteps int, opts CounterOptions) (Report, *Trace, *PerfCounters, error) {
+	return s.runSteps(nil, timesteps, true, &opts)
+}
+
+// RunStepsTraceCountedContext is RunStepsTraceCounted bounded by ctx (see
+// RunContext).
+func (s *Solver) RunStepsTraceCountedContext(ctx context.Context, timesteps int, opts CounterOptions) (Report, *Trace, *PerfCounters, error) {
+	return s.runSteps(ctx, timesteps, true, &opts)
 }
 
 // RunStepsTraced is RunSteps plus a rendered execution timeline (a text
@@ -378,7 +413,7 @@ func (s *Solver) RunStepsTracedContext(ctx context.Context, timesteps, width int
 }
 
 func (s *Solver) runStepsTimeline(ctx context.Context, timesteps, width int) (Report, string, error) {
-	rep, tr, err := s.runSteps(ctx, timesteps, true)
+	rep, tr, _, err := s.runSteps(ctx, timesteps, true, nil)
 	if err != nil || tr == nil {
 		return rep, "", err
 	}
@@ -390,21 +425,24 @@ func (s *Solver) runStepsTimeline(ctx context.Context, timesteps, width int) (Re
 // JSON (Perfetto, chrome://tracing), Trace.Summary the per-worker busy/idle
 // digest, Trace.Timeline the text Gantt chart.
 func (s *Solver) RunStepsTrace(timesteps int) (Report, *Trace, error) {
-	return s.runSteps(nil, timesteps, true)
+	rep, tr, _, err := s.runSteps(nil, timesteps, true, nil)
+	return rep, tr, err
 }
 
 // RunStepsTraceContext is RunStepsTrace bounded by ctx (see RunContext).
 func (s *Solver) RunStepsTraceContext(ctx context.Context, timesteps int) (Report, *Trace, error) {
-	return s.runSteps(ctx, timesteps, true)
+	rep, tr, _, err := s.runSteps(ctx, timesteps, true, nil)
+	return rep, tr, err
 }
 
 // runSteps executes one plan. A nil ctx means no cancellation (and costs
-// nothing on the hot path). Every error return carries a report holding
-// only the identity fields (Scheme, Workers, Timesteps, FlopsPerUpdate)
-// and a nil trace: timing and update counts from a failed run would be
-// meaningless — a caller computing Gupdates on the error path must see
-// zero, not a rate.
-func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool) (Report, *Trace, error) {
+// nothing on the hot path). A non-nil counted instruments the run with
+// simulated performance counters. Every error return carries a report
+// holding only the identity fields (Scheme, Workers, Timesteps,
+// FlopsPerUpdate) and nil trace/counters: timing and update counts from a
+// failed run would be meaningless — a caller computing Gupdates on the
+// error path must see zero, not a rate.
+func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool, counted *CounterOptions) (Report, *Trace, *PerfCounters, error) {
 	cfg := s.cfg
 	rep := Report{
 		Scheme:         cfg.Scheme,
@@ -413,14 +451,14 @@ func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool) (Repo
 		FlopsPerUpdate: s.st.FlopsPerUpdate(),
 	}
 	if err := s.Err(); err != nil {
-		return rep, nil, err
+		return rep, nil, nil, err
 	}
 	if timesteps < 0 {
-		return rep, nil, fmt.Errorf("nustencil: negative timesteps %d", timesteps)
+		return rep, nil, nil, fmt.Errorf("nustencil: negative timesteps %d", timesteps)
 	}
 	if timesteps == 0 {
 		rep.UpdatesPerWorker = make([]int64, cfg.Workers)
-		return rep, nil, nil
+		return rep, nil, nil, nil
 	}
 	var wrap []int
 	if cfg.Periodic {
@@ -440,7 +478,7 @@ func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool) (Repo
 		s.scheme.Distribute(p)
 		tiles, err := s.scheme.Tiles(p)
 		if err != nil {
-			return rep, nil, err
+			return rep, nil, nil, err
 		}
 		spacetime.AssignIDs(tiles)
 		pl = &plan{tiles: tiles, deps: engine.BuildDeps(tiles, cfg.Order, wrap)}
@@ -470,6 +508,57 @@ func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool) (Repo
 	if s.execWrap != nil {
 		exec = s.execWrap(exec)
 	}
+	var col *perfcount.Collector
+	var cmach *machine.Machine
+	var simCores int
+	var sampleEvery time.Duration
+	if counted != nil {
+		name := counted.Machine
+		if name == "" {
+			name = XeonX7550
+		}
+		var err error
+		cmach, err = machineFor(name)
+		if err != nil {
+			return rep, nil, nil, err
+		}
+		mod, ok := memsim.Models()[string(cfg.Scheme)]
+		if !ok {
+			return rep, nil, nil, fmt.Errorf("nustencil: no cost model for scheme %q", cfg.Scheme)
+		}
+		simCores = cfg.Workers
+		if simCores > cmach.NumCores() {
+			simCores = cmach.NumCores()
+		}
+		traffic := mod.Traffic(&memsim.Workload{
+			Machine:   cmach,
+			Stencil:   s.st,
+			Dims:      s.g.Dims(),
+			Timesteps: timesteps,
+			Cores:     simCores,
+		})
+		topo := affinity.Fixed{Cores: cfg.Workers, Nodes: cfg.NUMANodes}
+		col, err = perfcount.NewCollector(perfcount.Config{
+			Workers:            cfg.Workers,
+			Nodes:              cfg.NUMANodes,
+			NodeOfWorker:       topo.NodeOfCore,
+			FlopsPerUpdate:     s.st.FlopsPerUpdate(),
+			MainBytesPerUpdate: traffic.MainWords * 8,
+			LLCBytesPerUpdate:  traffic.LLCWords * 8,
+			Grid:               s.g,
+		})
+		if err != nil {
+			return rep, nil, nil, err
+		}
+		sampleEvery = counted.samplePeriod()
+		inner := exec
+		exec = func(w int, tile *spacetime.Tile) int64 {
+			t0 := time.Now()
+			n := inner(w, tile)
+			col.RecordTile(w, tile, n, time.Since(t0))
+			return n
+		}
+	}
 	var tr *trace.Trace
 	if traced {
 		tr = trace.NewForWorkers(cfg.Workers)
@@ -481,27 +570,39 @@ func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool) (Repo
 			return n
 		}
 	}
+	var onSample func(engine.Sample)
+	if col != nil && sampleEvery > 0 {
+		onSample = func(sm engine.Sample) {
+			col.RecordSample(perfcount.Sample{
+				Elapsed:     sm.Elapsed,
+				ReadyTiles:  sm.Ready,
+				IdleWorkers: sm.Idle,
+			})
+		}
+	}
 	start := time.Now()
 	run := engine.Run
 	if cfg.StaticSchedule {
 		run = engine.RunStatic
 	}
 	stats, err := run(tiles, engine.Config{
-		Workers: cfg.Workers,
-		Order:   cfg.Order,
-		Wrap:    wrap,
-		Deps:    pl.deps,
-		Pin:     cfg.PinThreads,
-		Scheme:  string(cfg.Scheme),
-		Exec:    exec,
-		Ctx:     ctx,
+		Workers:     cfg.Workers,
+		Order:       cfg.Order,
+		Wrap:        wrap,
+		Deps:        pl.deps,
+		Pin:         cfg.PinThreads,
+		Scheme:      string(cfg.Scheme),
+		Exec:        exec,
+		Ctx:         ctx,
+		SampleEvery: sampleEvery,
+		OnSample:    onSample,
 	})
 	if err != nil {
 		// The engine stopped mid-plan: the double buffers may disagree and
 		// s.steps no longer names a consistent timestep. Poison the solver —
 		// the report keeps only its identity fields.
 		s.poison = err
-		return rep, nil, err
+		return rep, nil, nil, err
 	}
 	rep.Seconds = time.Since(start).Seconds()
 	s.steps += timesteps
@@ -510,8 +611,25 @@ func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool) (Repo
 	rep.UpdatesPerWorker = stats.UpdatesPerWorker
 	rep.Imbalance = stats.Imbalance()
 	rep.Sched = schedCounters(stats.Sched)
-	if traced {
-		return rep, &Trace{tr: tr, workers: cfg.Workers}, nil
+	var pc *PerfCounters
+	if col != nil {
+		counters := col.Counters()
+		pc = &PerfCounters{
+			c:    counters,
+			attr: perfcount.Attribute(counters, cmach, s.st, simCores, rep.Seconds),
+		}
+		if traced {
+			// The scheduler samples become Chrome trace counter tracks,
+			// graphed above the worker lanes.
+			for _, smp := range counters.Samples {
+				at := start.Add(smp.Elapsed)
+				tr.AddCounter("ready tiles", at, float64(smp.ReadyTiles))
+				tr.AddCounter("idle workers", at, float64(smp.IdleWorkers))
+			}
+		}
 	}
-	return rep, nil, nil
+	if traced {
+		return rep, &Trace{tr: tr, workers: cfg.Workers}, pc, nil
+	}
+	return rep, nil, pc, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"nustencil/internal/engine"
 	"nustencil/internal/experiments"
+	"nustencil/internal/perfcount"
 	"nustencil/internal/report"
 	"nustencil/internal/trace"
 )
@@ -175,6 +176,168 @@ type WorkerTraceStat struct {
 	Idle    time.Duration `json:"idle_ns"`
 	// Utilization is Busy as a fraction of the trace span.
 	Utilization float64 `json:"utilization"`
+}
+
+// CounterOptions configures simulated performance counters for a counted
+// run (RunStepsCounted, RunStepsTraceCounted).
+type CounterOptions struct {
+	// Machine selects the modeled machine whose cost model prices the
+	// counters and whose bandwidth hierarchy the attribution is computed
+	// against (default XeonX7550).
+	Machine MachineName
+	// SamplePeriod is the scheduler sampling period for ready-queue depth
+	// and idle-worker counts. Zero means the default 1 ms; negative
+	// disables sampling. The sampler reads only atomics the scheduler
+	// already maintains — the per-tile hot path is unaffected either way.
+	SamplePeriod time.Duration
+}
+
+func (o CounterOptions) samplePeriod() time.Duration {
+	if o.SamplePeriod == 0 {
+		return time.Millisecond
+	}
+	if o.SamplePeriod < 0 {
+		return 0
+	}
+	return o.SamplePeriod
+}
+
+// PerfCounters is the folded counter set of one counted run, plus its
+// bottleneck attribution: the software stand-in for a PMU/likwid
+// measurement session. Counters accumulate worker-locally during the run
+// and fold once at exit, so collecting them adds no atomics to the
+// per-tile hot path.
+type PerfCounters struct {
+	c    *perfcount.Counters
+	attr perfcount.Attribution
+}
+
+// Updates returns the total point updates the counters account.
+func (p *PerfCounters) Updates() int64 { return p.c.Updates }
+
+// Flops returns the total floating-point operations.
+func (p *PerfCounters) Flops() int64 { return p.c.Flops() }
+
+// LLCBytes returns the bytes the model prices as served by the last-level
+// cache.
+func (p *PerfCounters) LLCBytes() int64 { return p.c.LLCBytes() }
+
+// MainBytes returns the total simulated main-memory traffic (the sum of
+// every node's controller bytes).
+func (p *PerfCounters) MainBytes() int64 { return p.c.MainBytes() }
+
+// LocalBytes returns the node-local share of the main-memory traffic.
+func (p *PerfCounters) LocalBytes() int64 { return p.c.LocalBytes() }
+
+// RemoteBytes returns the interconnect-crossing share of the main-memory
+// traffic.
+func (p *PerfCounters) RemoteBytes() int64 { return p.c.RemoteBytes() }
+
+// MeanTileLatency returns the mean tile execution time.
+func (p *PerfCounters) MeanTileLatency() time.Duration {
+	h := p.c.Latency()
+	return h.Mean()
+}
+
+// LatencyQuantile estimates the q-quantile of the tile-latency
+// distribution (a conservative upper bound at the histogram's log₂
+// resolution).
+func (p *PerfCounters) LatencyQuantile(q float64) time.Duration {
+	h := p.c.Latency()
+	return h.Quantile(q)
+}
+
+// Bottleneck returns the attribution verdict: which analytic bound binds
+// the run, and by what margin.
+func (p *PerfCounters) Bottleneck() BottleneckReport {
+	bounds := make([]BoundCost, len(p.attr.Bounds))
+	for i, b := range p.attr.Bounds {
+		bounds[i] = BoundCost{Bound: b.Bound, Seconds: b.Seconds}
+	}
+	return BottleneckReport{
+		Machine:         p.attr.Machine,
+		Cores:           p.attr.Cores,
+		Binding:         p.attr.Binding,
+		Bottleneck:      p.attr.Bottleneck,
+		Margin:          p.attr.Margin,
+		HottestNode:     p.attr.HottestNode,
+		ModelSeconds:    p.attr.ModelSeconds,
+		MeasuredSeconds: p.attr.MeasuredSeconds,
+		Bounds:          bounds,
+	}
+}
+
+// Describe renders the attribution as an aligned text block.
+func (p *PerfCounters) Describe() string { return p.attr.String() }
+
+// WritePrometheus writes the counters and attribution in the Prometheus
+// text exposition format.
+func (p *PerfCounters) WritePrometheus(w io.Writer) error {
+	return perfcount.WritePrometheus(w, p.c, &p.attr)
+}
+
+// MarshalJSON emits the full counter set and attribution as one document:
+// {"counters": {...}, "attribution": {...}}.
+func (p *PerfCounters) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Counters    *perfcount.Counters   `json:"counters"`
+		Attribution perfcount.Attribution `json:"attribution"`
+	}{p.c, p.attr})
+}
+
+// BottleneckReport names the analytic bound that binds a counted run.
+type BottleneckReport struct {
+	// Machine and Cores identify the model the bounds are priced against.
+	Machine string `json:"machine"`
+	Cores   int    `json:"cores"`
+	// Binding is the binding bound: "PeakDP", "LL1Band0C", "SysBandIC",
+	// "SysBand0C", "Controller" or "Interconnect".
+	Binding string `json:"binding"`
+	// Bottleneck is the same verdict in the cost model's vocabulary
+	// ("compute", "llc", "memory", "controller", "interconnect").
+	Bottleneck string `json:"bottleneck"`
+	// Margin is the binding bound's seconds over the runner-up's (1.0 = a
+	// tie; the higher, the more decisive).
+	Margin float64 `json:"margin"`
+	// HottestNode is the node whose memory controller served the most
+	// bytes.
+	HottestNode int `json:"hottest_node"`
+	// ModelSeconds is the binding bound's time — the counters' floor on
+	// the run time. MeasuredSeconds is the observed wall clock (0 for
+	// purely predicted counters).
+	ModelSeconds    float64 `json:"model_seconds"`
+	MeasuredSeconds float64 `json:"measured_seconds,omitempty"`
+	// Bounds lists every bound's seconds, descending.
+	Bounds []BoundCost `json:"bounds"`
+}
+
+// BoundCost is one analytic bound priced in seconds.
+type BoundCost struct {
+	Bound   string  `json:"bound"`
+	Seconds float64 `json:"seconds"`
+}
+
+// RenderFigureCounters regenerates one figure's counter-based bottleneck
+// attribution as a text table: the binding analytic bound and its margin
+// for every scheme line at every core count, derived from model-predicted
+// performance counters. Accepted ids: "fig04".."fig22".
+func RenderFigureCounters(id string) (string, error) {
+	f, ok := experiments.All()[id]
+	if !ok {
+		return "", fmt.Errorf("nustencil: unknown figure %q (want fig04..fig22)", id)
+	}
+	return report.Counters(f.Run()), nil
+}
+
+// RenderFigureCountersJSON is RenderFigureCounters as indented JSON,
+// carrying the full per-bound pricing of every attribution.
+func RenderFigureCountersJSON(id string) (string, error) {
+	f, ok := experiments.All()[id]
+	if !ok {
+		return "", fmt.Errorf("nustencil: unknown figure %q (want fig04..fig22)", id)
+	}
+	out, err := report.CountersJSON(f.Run())
+	return string(out), err
 }
 
 // RenderFigureJSON regenerates one paper figure as indented JSON: the

@@ -17,7 +17,7 @@ BENCHTIME="${2:-10x}"
 BENCH_RE='BenchmarkScheme$|BenchmarkKernel|BenchmarkScheduler|BenchmarkEngineOverhead'
 
 echo "== race-detector suites =="
-go test -race ./internal/engine/... ./internal/stencil/...
+go test -race ./internal/engine/... ./internal/stencil/... ./internal/trace/... ./internal/perfcount/...
 
 echo "== go vet =="
 go vet ./...
@@ -76,3 +76,16 @@ elif command -v jq >/dev/null 2>&1; then
     jq -e . BENCH_engine.json > /dev/null
 fi
 echo "wrote BENCH_engine.json"
+
+# Counter trajectory: an instrumented reference run whose simulated counters
+# and bottleneck attribution ride along with the benchmark numbers, so the
+# observability surface is exercised (and archived) on every bench run.
+echo "== simulated counters (reference run) =="
+go run ./cmd/stencil-run -dims 66x66x66 -steps 10 -workers 4 -nodes 2 \
+    -counters-json BENCH_counters.json > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool BENCH_counters.json > /dev/null
+elif command -v jq >/dev/null 2>&1; then
+    jq -e . BENCH_counters.json > /dev/null
+fi
+echo "wrote BENCH_counters.json"
