@@ -351,6 +351,9 @@ func BenchmarkEngineOverhead(b *testing.B) {
 	deps := engine.BuildDeps(tiles, 1, nil)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			// Allocations are part of the contract here: scripts/bench.sh
+			// gates on allocs/op against the BENCH_engine.json budget.
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				stats, err := engine.Run(tiles, engine.Config{

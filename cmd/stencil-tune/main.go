@@ -30,6 +30,10 @@ func main() {
 	candidateBudget := flag.Duration("candidate-budget", 30*time.Second,
 		"wall-clock budget per candidate (all repeats); a hung candidate is cancelled and ranked last (0 = none)")
 	top := flag.Int("top", 10, "show this many candidates")
+	feedback := flag.Bool("feedback", false,
+		"feedback-directed search: candidates run with simulated performance counters and the bottleneck attribution steers the walk instead of exhausting the space")
+	machineName := flag.String("machine", "xeonx7550",
+		"modeled machine pricing the counters for -feedback: opteron8222, xeonx7550 or host")
 	flag.Parse()
 
 	d, err := cliutil.ParseDims(*dims)
@@ -44,18 +48,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	measure, err := tune.MeasureFor(*scheme, w)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("tuning %s on %s, %d steps, %d workers: %d candidates × %d repeats (budget %v, %v per candidate)\n\n",
-		*scheme, *dims, *steps, w.Workers, space.Size(), *repeats, *budget, *candidateBudget)
+	var results []tune.Result
 	start := time.Now()
-	results := tune.GridSearch(context.Background(), space, measure, tune.Options{
-		Repeats: *repeats, Budget: *budget, CandidateBudget: *candidateBudget,
-	})
-	fmt.Printf("searched %d candidates in %v\n\n", len(results), time.Since(start).Round(time.Millisecond))
+	if *feedback {
+		measure, err := tune.MeasureCountedFor(*scheme, w, *machineName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("feedback-tuning %s on %s, %d steps, %d workers: %d-candidate space, counters priced on %s (budget %v, %v per candidate)\n\n",
+			*scheme, *dims, *steps, w.Workers, space.Size(), *machineName, *budget, *candidateBudget)
+		outcome := tune.FeedbackSearch(context.Background(), space, measure, tune.FeedbackOptions{
+			Repeats: *repeats, Budget: *budget, CandidateBudget: *candidateBudget,
+		})
+		results = outcome.Results
+		mode := "steered"
+		if outcome.FellBack {
+			mode = "fell back to exhaustive sweep (ambiguous attribution)"
+		}
+		fmt.Printf("measured %d of %d candidates in %v (%d accepted moves, %s)\n\n",
+			outcome.Evals, space.Size(), time.Since(start).Round(time.Millisecond), outcome.Moves, mode)
+	} else {
+		measure, err := tune.MeasureFor(*scheme, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tuning %s on %s, %d steps, %d workers: %d candidates × %d repeats (budget %v, %v per candidate)\n\n",
+			*scheme, *dims, *steps, w.Workers, space.Size(), *repeats, *budget, *candidateBudget)
+		results = tune.GridSearch(context.Background(), space, measure, tune.Options{
+			Repeats: *repeats, Budget: *budget, CandidateBudget: *candidateBudget,
+		})
+		fmt.Printf("searched %d candidates in %v\n\n", len(results), time.Since(start).Round(time.Millisecond))
+	}
 
 	if len(results) == 0 {
 		log.Fatal("no candidates measured")

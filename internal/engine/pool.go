@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nustencil/internal/xsync"
+)
+
+// schedMem is the reusable allocation footprint of one dependency-driven
+// Run: every per-run slice the scheduler needs, kept together so repeated
+// runs of the same plan (iterative solvers, benchmarks) execute without
+// growing the heap. The buffers are sized for the largest run they have
+// served and only grow; the contained values are either rewritten in full
+// each run (nDeps, the CSR arrays) or explicitly reset (queue backing,
+// parkers).
+//
+// The reverse dependency graph is stored in CSR form — one offsets array
+// and one flat edge array — instead of a [][]int32 built by per-edge
+// appends: with tens of thousands of tiles the append-grown representation
+// dominated Run's allocation count (~3 allocations per tile), while the
+// CSR form is two bulk buffers filled by a counting pass.
+type schedMem struct {
+	nDeps []atomic.Int32
+
+	// depOff/depFlat are the CSR reverse graph: the dependents of tile i
+	// are depFlat[depOff[i]:depOff[i+1]]. cursor is the fill scratch.
+	depOff  []int32
+	depFlat []int32
+	cursor  []int32
+
+	// qbuf is the single backing array behind every tile queue. Each tile
+	// is routed to exactly one queue exactly once, so the queues' summed
+	// capacity is len(tiles) and one flat buffer serves them all.
+	qbuf []atomic.Int32
+
+	ownQ     []tileQueue
+	ownCount []int
+	parkers  []xsync.Parker
+}
+
+var schedMemPool = sync.Pool{New: func() any { return new(schedMem) }}
+
+// getSchedMem returns a pooled schedMem resized and reset for a run of
+// nTiles tiles on workers workers. Release it with putSchedMem only after
+// every worker goroutine has exited.
+func getSchedMem(nTiles, workers int) *schedMem {
+	m := schedMemPool.Get().(*schedMem)
+
+	if cap(m.nDeps) < nTiles {
+		m.nDeps = make([]atomic.Int32, nTiles)
+	}
+	m.nDeps = m.nDeps[:nTiles]
+
+	if cap(m.depOff) < nTiles+1 {
+		m.depOff = make([]int32, nTiles+1)
+	}
+	m.depOff = m.depOff[:nTiles+1]
+	if cap(m.cursor) < nTiles {
+		m.cursor = make([]int32, nTiles)
+	}
+	m.cursor = m.cursor[:nTiles]
+
+	// Queue slots must read zero ("reserved but unpublished") at the start
+	// of a run; the previous run left consumed tile ids behind.
+	if cap(m.qbuf) < nTiles {
+		m.qbuf = make([]atomic.Int32, nTiles)
+	}
+	m.qbuf = m.qbuf[:nTiles]
+	for i := range m.qbuf {
+		m.qbuf[i].Store(0)
+	}
+
+	if cap(m.ownQ) < workers {
+		m.ownQ = make([]tileQueue, workers)
+	}
+	m.ownQ = m.ownQ[:workers]
+	if cap(m.ownCount) < workers {
+		m.ownCount = make([]int, workers)
+	}
+	m.ownCount = m.ownCount[:workers]
+	for i := range m.ownCount {
+		m.ownCount[i] = 0
+	}
+
+	if cap(m.parkers) < workers {
+		m.parkers = make([]xsync.Parker, workers)
+	}
+	m.parkers = m.parkers[:workers]
+	for i := range m.parkers {
+		// Discard tokens left by the previous run's terminal Unpark
+		// broadcast; the workers that would have consumed them are gone.
+		m.parkers[i].Reset()
+	}
+
+	return m
+}
+
+// buildReverse fills the CSR reverse graph (dependents) and the dependency
+// counters from deps, allocating only if the edge count outgrew the pooled
+// flat buffer.
+func (m *schedMem) buildReverse(deps [][]int) {
+	n := len(deps)
+	for i := range m.cursor[:n] {
+		m.cursor[i] = 0
+	}
+	total := 0
+	for i, d := range deps {
+		m.nDeps[i].Store(int32(len(d)))
+		total += len(d)
+		for _, j := range d {
+			m.cursor[j]++
+		}
+	}
+	if cap(m.depFlat) < total {
+		m.depFlat = make([]int32, total)
+	}
+	m.depFlat = m.depFlat[:total]
+	var off int32
+	for i := 0; i < n; i++ {
+		m.depOff[i] = off
+		off += m.cursor[i]
+		m.cursor[i] = m.depOff[i]
+	}
+	m.depOff[n] = off
+	for i, d := range deps {
+		for _, j := range d {
+			m.depFlat[m.cursor[j]] = int32(i)
+			m.cursor[j]++
+		}
+	}
+}
+
+func putSchedMem(m *schedMem) { schedMemPool.Put(m) }

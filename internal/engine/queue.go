@@ -25,6 +25,15 @@ func newTileQueue(capacity int) tileQueue {
 	return tileQueue{buf: make([]atomic.Int32, capacity)}
 }
 
+// reset points the queue at an externally owned (already zeroed) backing
+// segment and rewinds the cursors, so pooled runs reuse one flat buffer
+// for every queue instead of allocating per queue per run.
+func (q *tileQueue) reset(buf []atomic.Int32) {
+	q.buf = buf
+	q.head.Store(0)
+	q.tail.Store(0)
+}
+
 // push appends tile i. It must be called at most cap times over the queue's
 // lifetime (enforced by the dependency counters: each tile becomes ready
 // exactly once).

@@ -137,9 +137,13 @@ const parkSpin = 8
 // Parker and are woken individually — completing an owned tile wakes at most
 // its owner instead of broadcasting to every worker.
 type runState struct {
-	tiles      []*spacetime.Tile
-	nDeps      []atomic.Int32
-	dependents [][]int32
+	tiles []*spacetime.Tile
+	nDeps []atomic.Int32
+	// depOff/depFlat are the CSR reverse graph: the dependents of tile i
+	// are depFlat[depOff[i]:depOff[i+1]]. Both live in pooled schedMem
+	// buffers, reused across runs.
+	depOff  []int32
+	depFlat []int32
 
 	ownQ    []tileQueue // per-worker FIFO of ready tiles it owns
 	sharedQ tileQueue   // ready tiles with no owner, drained by anyone
@@ -198,17 +202,26 @@ func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 		deps = BuildDeps(tiles, cfg.Order, cfg.Wrap)
 	}
 
+	// All per-run scheduler buffers come from a pool and are returned once
+	// every worker goroutine has exited (all return paths pass wg.Wait), so
+	// repeated runs of a cached plan allocate almost nothing.
+	mem := getSchedMem(len(tiles), cfg.Workers)
+	defer putSchedMem(mem)
+	mem.buildReverse(deps)
 	st := &runState{
-		tiles:      tiles,
-		nDeps:      make([]atomic.Int32, len(tiles)),
-		dependents: make([][]int32, len(tiles)),
-		ownQ:       make([]tileQueue, cfg.Workers),
-		parkers:    make([]xsync.Parker, cfg.Workers),
+		tiles:   tiles,
+		nDeps:   mem.nDeps,
+		depOff:  mem.depOff,
+		depFlat: mem.depFlat,
+		ownQ:    mem.ownQ,
+		parkers: mem.parkers,
 	}
 	st.remaining.Store(int32(len(tiles)))
 
-	// Size each bounded queue by the tiles that can ever be routed to it.
-	ownCount := make([]int, cfg.Workers)
+	// Size each bounded queue by the tiles that can ever be routed to it;
+	// every tile is routed exactly once, so the queues partition one flat
+	// pooled backing of len(tiles) slots.
+	ownCount := mem.ownCount
 	sharedCount := 0
 	for _, t := range tiles {
 		if t.Owner < 0 {
@@ -217,16 +230,12 @@ func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 			ownCount[t.Owner%cfg.Workers]++
 		}
 	}
+	qbuf := mem.qbuf
+	st.sharedQ.reset(qbuf[:sharedCount])
+	off := sharedCount
 	for w := range st.ownQ {
-		st.ownQ[w] = newTileQueue(ownCount[w])
-	}
-	st.sharedQ = newTileQueue(sharedCount)
-
-	for i, d := range deps {
-		st.nDeps[i].Store(int32(len(d)))
-		for _, j := range d {
-			st.dependents[j] = append(st.dependents[j], int32(i))
-		}
+		st.ownQ[w].reset(qbuf[off : off+ownCount[w]])
+		off += ownCount[w]
 	}
 	// Seed the initially-ready tiles in the tiler's emission order (workers
 	// have not started; plain pushes publish before the goroutines exist).
@@ -238,12 +247,16 @@ func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 
 	// The context watcher translates cancellation into the shared status
 	// word and an Unpark broadcast, so parked workers wake to observe it.
-	// It is torn down (and never leaks) when the run finishes first.
-	var watcherStop chan struct{}
+	// It is torn down (and never leaks) when the run finishes first; Run
+	// joins it before returning so a watcher mid-broadcast can never touch
+	// the pooled parkers after they are recycled into a later run.
+	var watcherStop, watcherDone chan struct{}
 	if cfg.Ctx != nil {
 		if done := cfg.Ctx.Done(); done != nil {
 			watcherStop = make(chan struct{})
+			watcherDone = make(chan struct{})
 			go func() {
+				defer close(watcherDone)
 				select {
 				case <-done:
 					st.fail(runCancelled)
@@ -276,6 +289,7 @@ func Run(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 	stopSampler()
 	if watcherStop != nil {
 		close(watcherStop)
+		<-watcherDone
 	}
 	switch st.status.Load() {
 	case runBlocked:
@@ -427,7 +441,7 @@ func (st *runState) worker(w int, cfg Config, stats *Stats) {
 
 		// Resolve dependents: the last completed input pushes the tile, so
 		// each tile is published exactly once.
-		for _, d := range st.dependents[i] {
+		for _, d := range st.depFlat[st.depOff[i]:st.depOff[i+1]] {
 			if st.nDeps[d].Add(-1) == 0 {
 				sc.Unparks += st.publish(int(d), cfg.Workers)
 			}

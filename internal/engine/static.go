@@ -78,10 +78,22 @@ func RunStatic(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 	}
 
 	flags := xsync.NewFlagTable(len(tiles))
-	lists := make([][]int, cfg.Workers)
+	// Per-worker static lists in CSR form: a counting pass sizes one flat
+	// buffer, instead of growing cfg.Workers slices by repeated append.
+	listOff := make([]int, cfg.Workers+1)
+	for _, t := range tiles {
+		listOff[t.Owner%cfg.Workers+1]++
+	}
+	for w := 1; w <= cfg.Workers; w++ {
+		listOff[w] += listOff[w-1]
+	}
+	listFlat := make([]int32, len(tiles))
+	listNext := make([]int, cfg.Workers)
+	copy(listNext, listOff[:cfg.Workers])
 	for i, t := range tiles {
 		w := t.Owner % cfg.Workers
-		lists[w] = append(lists[w], i)
+		listFlat[listNext[w]] = int32(i)
+		listNext[w]++
 	}
 
 	var waiting, finished atomic.Int32
@@ -168,7 +180,8 @@ func RunStatic(tiles []*spacetime.Tile, cfg Config) (*Stats, error) {
 				_ = affinity.PinCurrentThread(w)
 			}
 			pprof.Do(context.Background(), workerLabels(cfg.Scheme, w), func(context.Context) {
-				for _, i := range lists[w] {
+				for _, i32 := range listFlat[listOff[w]:listOff[w+1]] {
+					i := int(i32)
 					if status.Load() != runActive {
 						return
 					}

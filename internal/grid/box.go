@@ -14,19 +14,33 @@ type Box struct {
 	Lo, Hi []int
 }
 
+// MakeBox returns a zero-valued box with nd dimensions. Lo and Hi share a
+// single backing allocation — every constructor here does the same, so
+// building a box costs one allocation, not two. Callers that derive boxes
+// in bulk (tilers, subdividers) should prefer the *Into/in-place operations
+// below, which allocate nothing at all.
+func MakeBox(nd int) Box {
+	m := make([]int, 2*nd)
+	return Box{Lo: m[:nd:nd], Hi: m[nd:]}
+}
+
 // NewBox returns a box spanning [lo, hi) in every dimension.
 // The slices are copied.
 func NewBox(lo, hi []int) Box {
 	if len(lo) != len(hi) {
 		panic(fmt.Sprintf("grid: NewBox dimension mismatch: %d vs %d", len(lo), len(hi)))
 	}
-	return Box{Lo: append([]int(nil), lo...), Hi: append([]int(nil), hi...)}
+	b := MakeBox(len(lo))
+	copy(b.Lo, lo)
+	copy(b.Hi, hi)
+	return b
 }
 
 // BoxOf returns the box [0, dims[k]) in every dimension.
 func BoxOf(dims []int) Box {
-	lo := make([]int, len(dims))
-	return NewBox(lo, dims)
+	b := MakeBox(len(dims))
+	copy(b.Hi, dims)
+	return b
 }
 
 // NumDims returns the number of dimensions of the box.
@@ -75,12 +89,40 @@ func (b Box) Intersect(o Box) Box {
 	if len(b.Lo) != len(o.Lo) {
 		panic("grid: Intersect dimension mismatch")
 	}
-	r := Box{Lo: make([]int, len(b.Lo)), Hi: make([]int, len(b.Lo))}
+	r := MakeBox(len(b.Lo))
 	for k := range b.Lo {
 		r.Lo[k] = max(b.Lo[k], o.Lo[k])
 		r.Hi[k] = min(b.Hi[k], o.Hi[k])
 	}
 	return r
+}
+
+// ClipTo intersects b with o in place and returns b, for hot paths that
+// already own b's backing and must not allocate.
+func (b Box) ClipTo(o Box) Box {
+	if len(b.Lo) != len(o.Lo) {
+		panic("grid: ClipTo dimension mismatch")
+	}
+	for k := range b.Lo {
+		if o.Lo[k] > b.Lo[k] {
+			b.Lo[k] = o.Lo[k]
+		}
+		if o.Hi[k] < b.Hi[k] {
+			b.Hi[k] = o.Hi[k]
+		}
+	}
+	return b
+}
+
+// CopyFrom copies o's bounds into b's existing backing (same
+// dimensionality) and returns b, without allocating.
+func (b Box) CopyFrom(o Box) Box {
+	if len(b.Lo) != len(o.Lo) {
+		panic("grid: CopyFrom dimension mismatch")
+	}
+	copy(b.Lo, o.Lo)
+	copy(b.Hi, o.Hi)
+	return b
 }
 
 // Intersects reports whether b and o share at least one point. It performs
@@ -167,7 +209,7 @@ func (b Box) Shift(delta []int) Box {
 	if len(delta) != len(b.Lo) {
 		panic("grid: Shift dimension mismatch")
 	}
-	r := Box{Lo: make([]int, len(b.Lo)), Hi: make([]int, len(b.Lo))}
+	r := MakeBox(len(b.Lo))
 	for k := range b.Lo {
 		r.Lo[k] = b.Lo[k] + delta[k]
 		r.Hi[k] = b.Hi[k] + delta[k]
@@ -175,10 +217,22 @@ func (b Box) Shift(delta []int) Box {
 	return r
 }
 
+// ShiftInPlace translates b by delta without allocating.
+func (b Box) ShiftInPlace(delta []int) Box {
+	if len(delta) != len(b.Lo) {
+		panic("grid: ShiftInPlace dimension mismatch")
+	}
+	for k := range b.Lo {
+		b.Lo[k] += delta[k]
+		b.Hi[k] += delta[k]
+	}
+	return b
+}
+
 // Grow returns the box expanded by r in every direction of every dimension.
 // A negative r shrinks the box.
 func (b Box) Grow(r int) Box {
-	g := Box{Lo: make([]int, len(b.Lo)), Hi: make([]int, len(b.Lo))}
+	g := MakeBox(len(b.Lo))
 	for k := range b.Lo {
 		g.Lo[k] = b.Lo[k] - r
 		g.Hi[k] = b.Hi[k] + r
@@ -188,7 +242,10 @@ func (b Box) Grow(r int) Box {
 
 // Clone returns a deep copy of the box.
 func (b Box) Clone() Box {
-	return Box{Lo: append([]int(nil), b.Lo...), Hi: append([]int(nil), b.Hi...)}
+	c := MakeBox(len(b.Lo))
+	copy(c.Lo, b.Lo)
+	copy(c.Hi, b.Hi)
+	return c
 }
 
 // SplitAt cuts the box at coordinate c along dimension k and returns the two

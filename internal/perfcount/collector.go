@@ -59,8 +59,13 @@ type shard struct {
 	// controller; scratch is the ownership-count buffer (len Nodes+1).
 	ctrl    []float64
 	scratch []int64
-	lat     Hist
-	_       [64]byte
+	// bbox/bounds are per-shard box scratch for the ownership lookup, sized
+	// lazily on the first priced tile so RecordTile stays allocation-free on
+	// the steady state.
+	bbox   grid.Box
+	bounds grid.Box
+	lat    Hist
+	_      [64]byte
 }
 
 // NewCollector validates cfg and allocates the per-worker shards.
@@ -113,7 +118,11 @@ func (c *Collector) RecordTile(w int, tile *spacetime.Tile, updates int64, d tim
 		sh.local += mb
 		return
 	}
-	g.OwnershipCountInto(tile.BBox().Intersect(g.Bounds()), sh.scratch)
+	if nd := tile.NumDims(); len(sh.bbox.Lo) != nd {
+		sh.bbox = grid.MakeBox(nd)
+		sh.bounds = g.Bounds()
+	}
+	g.OwnershipCountInto(tile.BBoxInto(sh.bbox).ClipTo(sh.bounds), sh.scratch)
 	var total int64
 	for _, n := range sh.scratch {
 		total += n

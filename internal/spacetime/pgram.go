@@ -37,12 +37,20 @@ func (p Pgram) T1() int { return p.T0 + p.Height }
 // CrossSection returns the (unclipped) spatial box covered at timestep t.
 // t must lie in [T0, T1).
 func (p Pgram) CrossSection(t int) grid.Box {
+	return p.CrossSectionInto(t, grid.MakeBox(len(p.Slope)))
+}
+
+// CrossSectionInto writes the (unclipped) spatial box covered at timestep t
+// into dst, which must have the parallelogram's dimensionality, and returns
+// dst. It performs no allocation — tilers that materialize thousands of
+// cross-sections use this with caller-owned backing.
+func (p Pgram) CrossSectionInto(t int, dst grid.Box) grid.Box {
 	dt := t - p.T0
-	delta := make([]int, len(p.Slope))
 	for k, m := range p.Slope {
-		delta[k] = m * dt
+		dst.Lo[k] = p.Base.Lo[k] + m*dt
+		dst.Hi[k] = p.Base.Hi[k] + m*dt
 	}
-	return p.Base.Shift(delta)
+	return dst
 }
 
 // SpatialExtent returns the extent of the base box in dimension k (constant

@@ -24,6 +24,18 @@ type Tile struct {
 	Node int
 }
 
+// makeCross returns height boxes of nd dimensions carved out of one shared
+// backing allocation, so materializing a tile costs two allocations (the
+// Cross slice and the int backing) regardless of its height.
+func makeCross(height, nd int) []grid.Box {
+	cross := make([]grid.Box, height)
+	m := make([]int, 2*nd*height)
+	for i, off := 0, 0; i < height; i, off = i+1, off+2*nd {
+		cross[i] = grid.Box{Lo: m[off : off+nd : off+nd], Hi: m[off+nd : off+2*nd : off+2*nd]}
+	}
+	return cross
+}
+
 // NewTileFromBox builds an unskewed tile: the same box at every timestep in
 // [t0, t0+height), clipped to clip.
 func NewTileFromBox(b grid.Box, t0, height int, clip grid.Box) *Tile {
@@ -38,9 +50,11 @@ func NewTileFromBox(b grid.Box, t0, height int, clip grid.Box) *Tile {
 // NewTileFromPgram materializes a parallelogram, clipping every
 // cross-section to clip (normally the grid interior).
 func NewTileFromPgram(p Pgram, clip grid.Box) *Tile {
-	t := &Tile{T0: p.T0, Owner: -1, Node: -1, Cross: make([]grid.Box, p.Height)}
+	nd := p.Base.NumDims()
+	t := &Tile{T0: p.T0, Owner: -1, Node: -1, Cross: makeCross(p.Height, nd)}
 	for i := 0; i < p.Height; i++ {
-		t.Cross[i] = p.CrossSection(p.T0 + i).Intersect(clip)
+		p.CrossSectionInto(p.T0+i, t.Cross[i])
+		t.Cross[i].ClipTo(clip)
 	}
 	return t
 }
@@ -55,7 +69,7 @@ func (t *Tile) Height() int { return len(t.Cross) }
 // ts is outside the tile's time range.
 func (t *Tile) At(ts int) grid.Box {
 	if ts < t.T0 || ts >= t.T1() {
-		return grid.Box{Lo: make([]int, t.NumDims()), Hi: make([]int, t.NumDims())}
+		return grid.MakeBox(t.NumDims())
 	}
 	return t.Cross[ts-t.T0]
 }
@@ -104,10 +118,40 @@ func (t *Tile) BBox() grid.Box {
 		}
 	}
 	if first {
-		nd := t.NumDims()
-		return grid.Box{Lo: make([]int, nd), Hi: make([]int, nd)}
+		return grid.MakeBox(t.NumDims())
 	}
 	return bb
+}
+
+// BBoxInto writes the spatial bounding box over all cross-sections into dst
+// (which must have the tile's dimensionality) and returns dst, without
+// allocating. If the tile is empty, dst is zeroed.
+func (t *Tile) BBoxInto(dst grid.Box) grid.Box {
+	first := true
+	for _, c := range t.Cross {
+		if c.Empty() {
+			continue
+		}
+		if first {
+			dst.CopyFrom(c)
+			first = false
+			continue
+		}
+		for k := range dst.Lo {
+			if c.Lo[k] < dst.Lo[k] {
+				dst.Lo[k] = c.Lo[k]
+			}
+			if c.Hi[k] > dst.Hi[k] {
+				dst.Hi[k] = c.Hi[k]
+			}
+		}
+	}
+	if first {
+		for k := range dst.Lo {
+			dst.Lo[k], dst.Hi[k] = 0, 0
+		}
+	}
+	return dst
 }
 
 // Intersect returns a new tile covering, at every timestep of t, the
@@ -115,15 +159,16 @@ func (t *Tile) BBox() grid.Box {
 // (empty where their time ranges do not overlap). Used to split base
 // parallelograms at thread-parallelogram boundaries.
 func (t *Tile) Intersect(p Pgram) *Tile {
-	out := &Tile{T0: t.T0, Owner: t.Owner, Node: t.Node, Cross: make([]grid.Box, len(t.Cross))}
+	nd := t.NumDims()
+	out := &Tile{T0: t.T0, Owner: t.Owner, Node: t.Node, Cross: makeCross(len(t.Cross), nd)}
+	sc := grid.MakeBox(nd)
 	for i, c := range t.Cross {
 		ts := t.T0 + i
+		dst := out.Cross[i].CopyFrom(c)
 		if ts >= p.T0 && ts < p.T1() {
-			out.Cross[i] = c.Intersect(p.CrossSection(ts))
+			dst.ClipTo(p.CrossSectionInto(ts, sc))
 		} else {
-			empty := c.Clone()
-			empty.Hi[0] = empty.Lo[0]
-			out.Cross[i] = empty
+			dst.Hi[0] = dst.Lo[0]
 		}
 	}
 	return out
@@ -133,9 +178,16 @@ func (t *Tile) Intersect(p Pgram) *Tile {
 // intersection of t's cross-section with o's cross-section at the same
 // timestep. Owner and Node are taken from t.
 func (t *Tile) IntersectTile(o *Tile) *Tile {
-	out := &Tile{T0: t.T0, Owner: t.Owner, Node: t.Node, Cross: make([]grid.Box, len(t.Cross))}
+	nd := t.NumDims()
+	out := &Tile{T0: t.T0, Owner: t.Owner, Node: t.Node, Cross: makeCross(len(t.Cross), nd)}
 	for i, c := range t.Cross {
-		out.Cross[i] = c.Intersect(o.At(t.T0 + i))
+		ts := t.T0 + i
+		dst := out.Cross[i].CopyFrom(c)
+		if ts >= o.T0 && ts < o.T1() {
+			dst.ClipTo(o.Cross[ts-o.T0])
+		} else {
+			dst.Hi[0] = dst.Lo[0]
+		}
 	}
 	return out
 }
@@ -147,20 +199,22 @@ func (t *Tile) IntersectTile(o *Tile) *Tile {
 // requires that the remainder be a single interval in dimension k and panics
 // otherwise. This keeps tiles box-per-timestep.
 func (t *Tile) Subtract(p Pgram, k int) *Tile {
-	out := &Tile{T0: t.T0, Owner: t.Owner, Node: t.Node, Cross: make([]grid.Box, len(t.Cross))}
+	nd := t.NumDims()
+	out := &Tile{T0: t.T0, Owner: t.Owner, Node: t.Node, Cross: makeCross(len(t.Cross), nd)}
+	sc := grid.MakeBox(nd)
 	for i, c := range t.Cross {
 		ts := t.T0 + i
 		if c.Empty() || ts < p.T0 || ts >= p.T1() {
-			out.Cross[i] = c
+			out.Cross[i].CopyFrom(c)
 			continue
 		}
-		pc := p.CrossSection(ts)
+		pc := p.CrossSectionInto(ts, sc)
 		lo, hi := c.Lo[k], c.Hi[k]
 		plo, phi := pc.Lo[k], pc.Hi[k]
 		// Remainder of [lo,hi) after removing [plo,phi).
 		leftEmpty := plo <= lo
 		rightEmpty := phi >= hi
-		r := c.Clone()
+		r := out.Cross[i].CopyFrom(c)
 		switch {
 		case leftEmpty && rightEmpty:
 			r.Hi[k] = r.Lo[k] // fully removed

@@ -167,10 +167,14 @@ func (op *Op) row7pt(src, dst []float64, off, n int) {
 	o1, o2, o3, o4 := op.offs[1], op.offs[2], op.offs[3], op.offs[4]
 	d := dst[off : off+n : off+n]
 	s0 := src[off : off+n]
-	s1 := src[off+o1 : off+o1+n]
-	s2 := src[off+o2 : off+o2+n]
-	s3 := src[off+o3 : off+o3+n]
-	s4 := src[off+o4 : off+o4+n]
+	// The two-step re-slice ([off+oK:][:n]) gives the prove pass a direct
+	// len == n fact for the variable-offset planes, eliminating the per-point
+	// bounds checks the single slice expression leaves behind (verify with
+	// -gcflags=-d=ssa/check_bce: no IsInBounds inside the k loops).
+	s1 := src[off+o1:][:n]
+	s2 := src[off+o2:][:n]
+	s3 := src[off+o3:][:n]
+	s4 := src[off+o4:][:n]
 	sm := src[off-1 : off-1+n]
 	sp := src[off+1 : off+1+n]
 	if g := op.source; g != nil {
@@ -205,10 +209,10 @@ func (op *Op) apply7pt(b grid.Box, src, dst []float64) int64 {
 		updates += int64(n)
 		d := dst[off : off+n : off+n]
 		s0 := src[off : off+n]
-		s1 := src[off+o1 : off+o1+n]
-		s2 := src[off+o2 : off+o2+n]
-		s3 := src[off+o3 : off+o3+n]
-		s4 := src[off+o4 : off+o4+n]
+		s1 := src[off+o1:][:n]
+		s2 := src[off+o2:][:n]
+		s3 := src[off+o3:][:n]
+		s4 := src[off+o4:][:n]
 		sm := src[off-1 : off-1+n]
 		sp := src[off+1 : off+1+n]
 		if g != nil {
@@ -305,10 +309,10 @@ func (op *Op) rowBanded7(src, dst []float64, off, n int) {
 	b5 := data[5][off : off+n]
 	b6 := data[6][off : off+n]
 	s0 := src[off : off+n]
-	s1 := src[off+o1 : off+o1+n]
-	s2 := src[off+o2 : off+o2+n]
-	s3 := src[off+o3 : off+o3+n]
-	s4 := src[off+o4 : off+o4+n]
+	s1 := src[off+o1:][:n]
+	s2 := src[off+o2:][:n]
+	s3 := src[off+o3:][:n]
+	s4 := src[off+o4:][:n]
 	sm := src[off-1 : off-1+n]
 	sp := src[off+1 : off+1+n]
 	if g := op.source; g != nil {

@@ -1,0 +1,226 @@
+package tune
+
+import (
+	"context"
+	"sort"
+	"time"
+)
+
+// CountedSample is one feedback measurement: a candidate's rate together
+// with the simulated-counter attribution of what bound it.
+type CountedSample struct {
+	Gupdates float64
+	// Bottleneck is the attribution verdict in the cost model's vocabulary:
+	// "compute", "llc", "memory", "controller" or "interconnect".
+	Bottleneck string
+	// Margin is the binding bound's seconds over the runner-up's; values
+	// near 1.0 mean the verdict is a near-tie and should not steer.
+	Margin float64
+}
+
+// MeasureCounted runs one candidate with performance counters enabled and
+// returns its rate plus the bottleneck attribution.
+type MeasureCounted func(ctx context.Context, s Setting) (CountedSample, error)
+
+// FeedbackOptions control FeedbackSearch.
+type FeedbackOptions struct {
+	// Repeats per candidate; the best repeat's rate counts, the last
+	// repeat's attribution steers (default 3).
+	Repeats int
+	// Budget bounds the total search time (0 = unlimited).
+	Budget time.Duration
+	// CandidateBudget bounds each candidate's wall-clock time across its
+	// repeats, like Options.CandidateBudget (0 = unlimited).
+	CandidateBudget time.Duration
+	// AmbiguousBelow is the margin under which an attribution is treated as
+	// a tie: the verdict stops steering and the search falls back to the
+	// exhaustive sweep (default 1.02).
+	AmbiguousBelow float64
+}
+
+// FeedbackOutcome is the result of a FeedbackSearch.
+type FeedbackOutcome struct {
+	// Results holds every measured candidate, best first (the same ranking
+	// GridSearch produces, over the subset the search visited).
+	Results []Result
+	// Evals is the number of distinct candidates measured — the cost to
+	// compare against GridSearch's space.Size().
+	Evals int
+	// Moves is the number of accepted hill-climb steps.
+	Moves int
+	// FellBack reports that an ambiguous attribution (or one naming a
+	// bottleneck no parameter can relieve) forced the exhaustive sweep.
+	FellBack bool
+}
+
+// FeedbackSearch tunes by bottleneck feedback instead of exhaustion: it
+// measures a mid-space seed with counters, reads which analytic bound binds
+// (cache, controller, interconnect, ...), and steps the parameters whose
+// relieve hints match that verdict in the relieving direction, repeating
+// from each improved candidate. A cache-bound run therefore walks tile
+// heights down; a controller-bound nuCORALS run walks τ up — the search
+// follows the attribution rather than enumerating the whole product space.
+// When the attribution cannot steer — a failed seed, a near-tie margin, or
+// a bottleneck no parameter claims to relieve — it falls back to measuring
+// the remaining candidates exhaustively, so its best-found is never worse
+// than unguided search on pathological spaces.
+func FeedbackSearch(ctx context.Context, space Space, measure MeasureCounted, opts FeedbackOptions) FeedbackOutcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	repeats := opts.Repeats
+	if repeats <= 0 {
+		repeats = 3
+	}
+	ambiguousBelow := opts.AmbiguousBelow
+	if ambiguousBelow <= 0 {
+		ambiguousBelow = 1.02
+	}
+	start := time.Now()
+	overBudget := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		return opts.Budget > 0 && time.Since(start) > opts.Budget
+	}
+
+	type measured struct {
+		res    Result
+		sample CountedSample
+	}
+	var out FeedbackOutcome
+	seen := map[string]*measured{}
+	eval := func(s Setting) *measured {
+		key := s.String()
+		if m, ok := seen[key]; ok {
+			return m
+		}
+		cctx, cancel := ctx, func() {}
+		if opts.CandidateBudget > 0 {
+			cctx, cancel = context.WithTimeout(ctx, opts.CandidateBudget)
+		}
+		m := &measured{res: Result{Setting: s}}
+		for r := 0; r < repeats; r++ {
+			cs, err := measure(cctx, s)
+			if err != nil {
+				m.res.Err = err
+				break
+			}
+			if cs.Gupdates > m.res.Gupdates {
+				m.res.Gupdates = cs.Gupdates
+			}
+			m.sample = cs
+		}
+		cancel()
+		seen[key] = m
+		out.Evals++
+		return m
+	}
+	settingAt := func(idx []int) Setting {
+		s := Setting{}
+		for k, p := range space {
+			s[p.Name] = p.Values[idx[k]]
+		}
+		return s
+	}
+	contains := func(hints []string, verdict string) bool {
+		for _, h := range hints {
+			if h == verdict {
+				return true
+			}
+		}
+		return false
+	}
+	finish := func() FeedbackOutcome {
+		for _, m := range seen {
+			out.Results = append(out.Results, m.res)
+		}
+		sort.SliceStable(out.Results, func(i, j int) bool {
+			a, b := out.Results[i], out.Results[j]
+			if (a.Err == nil) != (b.Err == nil) {
+				return a.Err == nil
+			}
+			if a.Gupdates != b.Gupdates {
+				return a.Gupdates > b.Gupdates
+			}
+			return a.Setting.String() < b.Setting.String()
+		})
+		return out
+	}
+	fallback := func() FeedbackOutcome {
+		out.FellBack = true
+		enumerate(space, Setting{}, 0, func(s Setting) bool {
+			if overBudget() {
+				return false
+			}
+			copied := Setting{}
+			for k, v := range s {
+				copied[k] = v
+			}
+			eval(copied)
+			return true
+		})
+		return finish()
+	}
+
+	if len(space) == 0 {
+		return finish()
+	}
+	// Seed at the middle of every dimension: one step reaches most of each
+	// parameter's range, and the defaults-adjacent region is measured first.
+	idx := make([]int, len(space))
+	for k, p := range space {
+		idx[k] = (len(p.Values) - 1) / 2
+	}
+	cur := eval(settingAt(idx))
+
+	// The walk is bounded by the number of settings; each accepted move
+	// visits a new candidate, so this cannot loop.
+	for steps := 0; steps < space.Size(); steps++ {
+		if overBudget() {
+			return finish()
+		}
+		if cur.res.Err != nil || cur.sample.Margin < ambiguousBelow {
+			return fallback()
+		}
+		verdict := cur.sample.Bottleneck
+		type move struct{ param, dir int }
+		var moves []move
+		for k, p := range space {
+			if contains(p.RelieveUp, verdict) && idx[k]+1 < len(p.Values) {
+				moves = append(moves, move{k, +1})
+			}
+			if contains(p.RelieveDown, verdict) && idx[k]-1 >= 0 {
+				moves = append(moves, move{k, -1})
+			}
+		}
+		if len(moves) == 0 {
+			// Nothing claims to relieve this bottleneck (or the relieving
+			// parameters are already at their extremes). If we have already
+			// improved over the seed, accept the local optimum; a steerless
+			// first verdict means the hints cannot guide this space at all.
+			if out.Moves > 0 {
+				return finish()
+			}
+			return fallback()
+		}
+		bestIdx, best := idx, cur
+		for _, mv := range moves {
+			if overBudget() {
+				return finish()
+			}
+			nIdx := append([]int(nil), idx...)
+			nIdx[mv.param] += mv.dir
+			m := eval(settingAt(nIdx))
+			if m.res.Err == nil && m.res.Gupdates > best.res.Gupdates {
+				bestIdx, best = nIdx, m
+			}
+		}
+		if best == cur {
+			return finish() // no steered neighbour improves: local optimum
+		}
+		idx, cur = bestIdx, best
+		out.Moves++
+	}
+	return finish()
+}

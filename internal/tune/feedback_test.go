@@ -1,0 +1,262 @@
+package tune
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"nustencil/internal/machine"
+	"nustencil/internal/memsim"
+)
+
+// xeonMeasure builds a deterministic analytic measurement for the nuCORALS
+// space, priced on the Table-I Xeon X7550 through the cost model's own
+// bound decomposition (memsim.BoundTerms), so the attribution verdicts the
+// feedback search consumes come from the exact Binding/Margin logic the
+// real counter pipeline uses. The traffic terms respond to the parameters
+// the way the schemes do:
+//
+//   - taller base parallelograms (baseHeight) cut main-memory words (more
+//     temporal reuse) but grow the live working set and with it the LLC
+//     words once the set overflows;
+//   - wider extents (baseExtent, baseUnit) grow the working set too;
+//   - taller thread parallelograms (tau) raise the fraction of traffic
+//     that stays on the executing thread's own node, relieving the hottest
+//     controller and the interconnect.
+//
+// At 32 cores the Xeon scenario starts controller-bound at the mid-space
+// seed; relieving it (tau up) exposes the cache bound, which baseHeight /
+// baseExtent relieve downward — exactly the two steering behaviours the
+// feedback tuner claims.
+func xeonMeasure(t *testing.T) MeasureCounted {
+	t.Helper()
+	mach := machine.XeonX7550()
+	const cores = 32
+	const updates = 1e9
+	const flopsPerUpdate = 13.0
+
+	analyse := func(s Setting) memsim.BoundTerms {
+		tau := float64(s["tau"])
+		bh := float64(s["baseHeight"])
+		be := float64(s["baseExtent"])
+		bu := float64(s["baseUnit"])
+
+		// Main words fall with temporal blocking depth; LLC words grow
+		// with the blocked working set; locality improves with tau.
+		mainWords := 3.0 * 8 / bh
+		llcWords := 6.0 * (bh / 8) * (be / 32) * (bu / 128)
+		localFrac := tau / (tau + 8)
+
+		mainBytes := updates * mainWords * 8
+		hotShare := 1.0 - 0.5*localFrac // hottest controller's share of main traffic
+		return memsim.BoundTerms{
+			Comp:   updates * flopsPerUpdate / (mach.PeakDP(cores) * 1e9),
+			LLC:    updates * llcWords * 8 / (mach.LLCBandwidth(cores) * machine.GB),
+			Even:   mainBytes / (mach.SysBandwidth(cores) * machine.GB),
+			Ctrl:   mainBytes * hotShare / (mach.NodeControllerBandwidth() * machine.GB),
+			Remote: mainBytes * (1 - localFrac) / (mach.InterconnectBandwidth(cores) * machine.GB),
+		}
+	}
+	measure := func(_ context.Context, s Setting) (CountedSample, error) {
+		terms := analyse(s)
+		sec, verdict := terms.Binding()
+		return CountedSample{
+			Gupdates:   updates / sec / 1e9,
+			Bottleneck: verdict,
+			Margin:     terms.Margin(),
+		}, nil
+	}
+	return measure
+}
+
+// TestFeedbackBeatsGridSearch is the acceptance scenario: on the Xeon
+// X7550 model the feedback-directed search must land within 5% of the
+// exhaustive grid search's best while measuring measurably fewer
+// candidates.
+func TestFeedbackBeatsGridSearch(t *testing.T) {
+	space, err := SpaceFor("nuCORALS", Workload{Dims: []int{98, 98, 98}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := xeonMeasure(t)
+
+	grid := GridSearch(context.Background(), space,
+		func(ctx context.Context, s Setting) (float64, error) {
+			cs, err := measure(ctx, s)
+			return cs.Gupdates, err
+		}, Options{Repeats: 1})
+	if len(grid) != space.Size() {
+		t.Fatalf("grid search measured %d candidates, want %d", len(grid), space.Size())
+	}
+	gridBest := grid[0]
+	if gridBest.Err != nil {
+		t.Fatalf("grid best errored: %v", gridBest.Err)
+	}
+
+	out := FeedbackSearch(context.Background(), space, measure, FeedbackOptions{Repeats: 1})
+	if len(out.Results) == 0 {
+		t.Fatal("feedback search measured nothing")
+	}
+	fbBest := out.Results[0]
+	if fbBest.Err != nil {
+		t.Fatalf("feedback best errored: %v", fbBest.Err)
+	}
+	t.Logf("grid: best %v at %.3f in %d evals; feedback: best %v at %.3f in %d evals (%d moves, fellback=%v)",
+		gridBest.Setting, gridBest.Gupdates, space.Size(),
+		fbBest.Setting, fbBest.Gupdates, out.Evals, out.Moves, out.FellBack)
+
+	if out.FellBack {
+		t.Fatal("feedback search fell back to the exhaustive sweep on a decisive scenario")
+	}
+	if fbBest.Gupdates < 0.95*gridBest.Gupdates {
+		t.Fatalf("feedback best %.4f is not within 5%% of grid best %.4f", fbBest.Gupdates, gridBest.Gupdates)
+	}
+	if out.Evals >= space.Size()/2 {
+		t.Fatalf("feedback search used %d evals; want measurably fewer than the %d-candidate space", out.Evals, space.Size())
+	}
+	if out.Moves == 0 {
+		t.Fatal("feedback search accepted no moves: the attribution never steered")
+	}
+	// The verdicts must actually have steered the walk along the hinted
+	// directions: the best setting should have moved tau up from the seed
+	// (relieving the controller), not drifted arbitrarily.
+	if fbBest.Setting["tau"] < 16 {
+		t.Errorf("controller-bound scenario did not raise tau: best %v", fbBest.Setting)
+	}
+	// Determinism: the same search must reproduce the same outcome.
+	again := FeedbackSearch(context.Background(), space, measure, FeedbackOptions{Repeats: 1})
+	if again.Evals != out.Evals || again.Results[0].Setting.String() != fbBest.Setting.String() {
+		t.Errorf("feedback search is not deterministic: %d evals best %v vs %d evals best %v",
+			out.Evals, fbBest.Setting, again.Evals, again.Results[0].Setting)
+	}
+}
+
+// TestFeedbackAmbiguousFallsBack: a near-tie attribution must not steer;
+// the search degrades to the exhaustive sweep and still finds the best.
+func TestFeedbackAmbiguousFallsBack(t *testing.T) {
+	space := Space{
+		{Name: "a", Values: []int{1, 2, 3}, RelieveDown: []string{"llc"}},
+		{Name: "b", Values: []int{1, 2, 3}, RelieveUp: []string{"memory"}},
+	}
+	measure := func(_ context.Context, s Setting) (CountedSample, error) {
+		return CountedSample{
+			Gupdates:   float64(s["a"]*10 + s["b"]), // best at a=3,b=3
+			Bottleneck: "llc",
+			Margin:     1.0, // dead tie: must not steer
+		}, nil
+	}
+	out := FeedbackSearch(context.Background(), space, measure, FeedbackOptions{Repeats: 1})
+	if !out.FellBack {
+		t.Fatal("ambiguous attribution did not trigger the fallback sweep")
+	}
+	if out.Evals != space.Size() {
+		t.Fatalf("fallback measured %d candidates, want the full space %d", out.Evals, space.Size())
+	}
+	best := out.Results[0]
+	if best.Setting["a"] != 3 || best.Setting["b"] != 3 {
+		t.Fatalf("fallback missed the optimum: got %v", best.Setting)
+	}
+}
+
+// TestFeedbackUnsteerableVerdictFallsBack: a decisive verdict that no
+// parameter claims to relieve cannot guide the walk either.
+func TestFeedbackUnsteerableVerdictFallsBack(t *testing.T) {
+	space := Space{{Name: "a", Values: []int{1, 2, 3}, RelieveDown: []string{"llc"}}}
+	measure := func(_ context.Context, s Setting) (CountedSample, error) {
+		return CountedSample{Gupdates: float64(s["a"]), Bottleneck: "compute", Margin: 2.0}, nil
+	}
+	out := FeedbackSearch(context.Background(), space, measure, FeedbackOptions{Repeats: 1})
+	if !out.FellBack {
+		t.Fatal("unsteerable verdict did not trigger the fallback sweep")
+	}
+	if got := out.Results[0].Setting["a"]; got != 3 {
+		t.Fatalf("fallback missed the optimum: a=%d", got)
+	}
+}
+
+// TestFeedbackErrorCandidateFallsBack: a failing seed measurement cannot
+// steer, and the error result ranks last behind every successful sweep
+// candidate.
+func TestFeedbackErrorCandidateFallsBack(t *testing.T) {
+	space := Space{{Name: "a", Values: []int{1, 2, 3}, RelieveDown: []string{"llc"}}}
+	boom := errors.New("boom")
+	measure := func(_ context.Context, s Setting) (CountedSample, error) {
+		if s["a"] == 2 { // the mid-space seed
+			return CountedSample{}, boom
+		}
+		return CountedSample{Gupdates: float64(s["a"]), Bottleneck: "llc", Margin: 2.0}, nil
+	}
+	out := FeedbackSearch(context.Background(), space, measure, FeedbackOptions{Repeats: 1})
+	if !out.FellBack {
+		t.Fatal("failed seed did not trigger the fallback sweep")
+	}
+	last := out.Results[len(out.Results)-1]
+	if !errors.Is(last.Err, boom) {
+		t.Fatalf("error candidate did not rank last: %+v", out.Results)
+	}
+}
+
+// TestFeedbackCacheBoundShrinksHeight pins the ISSUE's first steering
+// example: a cache-bound verdict walks the tile height down.
+func TestFeedbackCacheBoundShrinksHeight(t *testing.T) {
+	space := Space{
+		{Name: "height", Values: []int{4, 8, 16}, RelieveUp: []string{"memory"}, RelieveDown: []string{"llc"}},
+	}
+	measure := func(_ context.Context, s Setting) (CountedSample, error) {
+		// Smaller height = faster, always llc-bound: the walk must ride
+		// RelieveDown to the minimum.
+		return CountedSample{Gupdates: 10 / float64(s["height"]), Bottleneck: "llc", Margin: 3.0}, nil
+	}
+	out := FeedbackSearch(context.Background(), space, measure, FeedbackOptions{Repeats: 1})
+	if out.FellBack {
+		t.Fatal("decisive verdict fell back")
+	}
+	if got := out.Results[0].Setting["height"]; got != 4 {
+		t.Fatalf("cache-bound walk stopped at height=%d, want 4", got)
+	}
+	if out.Evals != 2 {
+		t.Fatalf("expected exactly seed+1 neighbour = 2 evals, got %d", out.Evals)
+	}
+}
+
+// TestSettingStringSorted pins the deterministic rendering.
+func TestSettingStringSorted(t *testing.T) {
+	s := Setting{"zeta": 1, "alpha": 2, "mid": 3}
+	want := "{alpha=2 mid=3 zeta=1}"
+	for i := 0; i < 16; i++ { // map order is randomized; any flake means unsorted
+		if got := s.String(); got != want {
+			t.Fatalf("Setting.String() = %q, want %q", got, want)
+		}
+	}
+	r := Result{Setting: s, Gupdates: 1.5}
+	if got := r.String(); got != "{alpha=2 mid=3 zeta=1}: 1.5000 Gupdates/s" {
+		t.Fatalf("Result.String() = %q", got)
+	}
+}
+
+// TestMeasureCountedForRealRun exercises the real counted path end to end:
+// one nuCORALS candidate on a small grid must produce a rate and a verdict
+// from the cost model's vocabulary.
+func TestMeasureCountedForRealRun(t *testing.T) {
+	m, err := MeasureCountedFor("nuCORALS", Workload{
+		Dims: []int{34, 34, 34}, Timesteps: 4, Workers: 2,
+	}, "xeonx7550")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := m(context.Background(), Setting{"tau": 4, "baseHeight": 4, "baseExtent": 16, "baseUnit": 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Gupdates <= 0 {
+		t.Fatalf("no rate: %+v", cs)
+	}
+	switch cs.Bottleneck {
+	case "compute", "llc", "memory", "controller", "interconnect":
+	default:
+		t.Fatalf("verdict %q outside the cost model vocabulary", cs.Bottleneck)
+	}
+	if cs.Margin <= 0 {
+		t.Fatalf("no margin: %+v", cs)
+	}
+}

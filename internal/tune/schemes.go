@@ -77,29 +77,42 @@ func measureScheme(ctx context.Context, w Workload, sch tiling.Scheme) (float64,
 }
 
 // SpaceFor returns the search space for a scheme name, sized to the
-// workload's dimensions.
+// workload's dimensions. The relieve hints encode each parameter's expected
+// effect on the cost model's bounds, steering FeedbackSearch:
+//
+//   - cache-bound (llc) runs shrink the blocking (shorter tiles, narrower
+//     bands) so the live working set fits again;
+//   - memory/controller-bound runs deepen temporal blocking (taller tiles)
+//     to convert main-memory traffic into cache reuse;
+//   - controller/interconnect-bound nuCORALS runs additionally raise τ, the
+//     thread-parallelogram height that controls how much of each thread's
+//     traffic stays on its own node (the affinity lever of the τ-sweep
+//     ablation).
 func SpaceFor(scheme string, w Workload) (Space, error) {
 	unit := w.Dims[len(w.Dims)-1]
+	deeper := []string{"memory", "controller"}
+	cacher := []string{"llc"}
 	switch scheme {
 	case "nuCORALS":
 		return Space{
-			{Name: "baseHeight", Values: []int{4, 8, 16}},
-			{Name: "baseExtent", Values: []int{16, 32, 64}},
-			{Name: "baseUnit", Values: []int{64, 128, unit}},
+			{Name: "tau", Values: []int{4, 8, 16, 32}, RelieveUp: []string{"controller", "interconnect"}},
+			{Name: "baseHeight", Values: []int{4, 8, 16}, RelieveUp: deeper, RelieveDown: cacher},
+			{Name: "baseExtent", Values: []int{16, 32, 64}, RelieveDown: cacher},
+			{Name: "baseUnit", Values: []int{64, 128, unit}, RelieveDown: cacher},
 		}, nil
 	case "nuCATS":
 		return Space{
-			{Name: "segment", Values: []int{1, 2, 4, 8}},
+			{Name: "segment", Values: []int{1, 2, 4, 8}, RelieveUp: deeper, RelieveDown: cacher},
 		}, nil
 	case "CATS":
 		return Space{
-			{Name: "segment", Values: []int{1, 2, 4, 8}},
-			{Name: "width", Values: []int{0, 8, 16, 32}},
+			{Name: "segment", Values: []int{1, 2, 4, 8}, RelieveUp: deeper, RelieveDown: cacher},
+			{Name: "width", Values: []int{0, 8, 16, 32}, RelieveDown: cacher},
 		}, nil
 	case "PLuTo":
 		return Space{
-			{Name: "timeBlock", Values: []int{4, 8, 16}},
-			{Name: "width", Values: []int{16, 32, 64}},
+			{Name: "timeBlock", Values: []int{4, 8, 16}, RelieveUp: deeper, RelieveDown: cacher},
+			{Name: "width", Values: []int{16, 32, 64}, RelieveDown: cacher},
 		}, nil
 	default:
 		return nil, fmt.Errorf("tune: no search space for scheme %q", scheme)
@@ -112,6 +125,7 @@ func MeasureFor(scheme string, w Workload) (Measure, error) {
 	case "nuCORALS":
 		return func(ctx context.Context, s Setting) (float64, error) {
 			return measureScheme(ctx, w, &nucorals.Scheme{Params: nucorals.Params{
+				Tau:            s["tau"],
 				BaseHeight:     s["baseHeight"],
 				BaseExtent:     s["baseExtent"],
 				BaseUnitExtent: s["baseUnit"],

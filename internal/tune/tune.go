@@ -10,13 +10,25 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 )
 
-// Param is one tunable dimension of the search space.
+// Param is one tunable dimension of the search space. Values must be in
+// ascending order: the feedback search interprets "up" as a later index.
 type Param struct {
 	Name   string
 	Values []int
+	// RelieveUp and RelieveDown are bottleneck hints for the feedback
+	// search, in the cost model's vocabulary ("compute", "llc", "memory",
+	// "controller", "interconnect"): when a measured candidate's counter
+	// attribution names a listed bottleneck, moving this parameter up
+	// (RelieveUp) or down (RelieveDown) is the direction expected to
+	// relieve it. Params without a matching hint are left alone for that
+	// verdict; a space with no hints at all degrades FeedbackSearch to a
+	// grid sweep.
+	RelieveUp   []string
+	RelieveDown []string
 }
 
 // Space is a full parameter space (the cartesian product of its params).
@@ -33,6 +45,29 @@ func (s Space) Size() int {
 
 // Setting is one concrete assignment.
 type Setting map[string]int
+
+// String renders the setting with its keys sorted, so ranked-candidate
+// listings and logs are deterministic run to run (Go randomizes map
+// iteration, and fmt's default map formatting follows its own ordering
+// rules — spelling the order out keeps textual diffs stable). JSON
+// marshalling needs no such help: encoding/json already sorts map keys.
+func (s Setting) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, s[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
 
 // Result is one measured candidate.
 type Result struct {

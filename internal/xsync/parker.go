@@ -65,6 +65,16 @@ func (p *Parker) Park(spin int) {
 	p.state.Store(parkerIdle)
 }
 
+// Reset discards any pending notification token so the Parker can be
+// reused for a new run. It must not be called concurrently with Park or
+// Unpark — the engine calls it only between runs, after every worker of
+// the previous run has exited. The lazily-created channel is kept (it is
+// always drained when Park returns), so a pooled Parker re-parks without
+// reallocating.
+func (p *Parker) Reset() {
+	p.state.Store(parkerIdle)
+}
+
 // Unpark delivers one notification: it wakes the owner if parked, or arms
 // the owner's next Park otherwise. Multiple Unparks between Parks coalesce
 // into one token.

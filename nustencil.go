@@ -47,22 +47,58 @@ func Schemes() []SchemeName {
 	return []SchemeName{Naive, CATS, NuCATS, CORALS, NuCORALS, Pochoir, PLuTo}
 }
 
-func schemeFor(name SchemeName) (tiling.Scheme, error) {
+// schemeParamKeys lists the Config.SchemeParams keys each scheme accepts;
+// they match the tuner's search-space names (internal/tune.SpaceFor), so a
+// tuned Setting plugs straight into a Config.
+var schemeParamKeys = map[SchemeName][]string{
+	CATS:     {"segment", "width"},
+	NuCATS:   {"segment"},
+	NuCORALS: {"tau", "baseHeight", "baseExtent", "baseUnit"},
+	PLuTo:    {"timeBlock", "width"},
+}
+
+func schemeFor(name SchemeName, params map[string]int) (tiling.Scheme, error) {
+	allowed := schemeParamKeys[name]
+	for k := range params {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("nustencil: scheme %s does not accept parameter %q (accepts %v)", name, k, allowed)
+		}
+	}
 	switch name {
 	case Naive:
 		return naive.New(), nil
 	case CATS:
-		return cats.New(), nil
+		return &cats.Scheme{Params: cats.Params{
+			SegmentHeight: params["segment"],
+			WidthOverride: params["width"],
+		}}, nil
 	case NuCATS:
-		return nucats.New(), nil
+		return &nucats.Scheme{Params: cats.Params{
+			SegmentHeight: params["segment"],
+		}}, nil
 	case CORALS:
 		return corals.New(), nil
 	case NuCORALS:
-		return nucorals.New(), nil
+		return &nucorals.Scheme{Params: nucorals.Params{
+			Tau:            params["tau"],
+			BaseHeight:     params["baseHeight"],
+			BaseExtent:     params["baseExtent"],
+			BaseUnitExtent: params["baseUnit"],
+		}}, nil
 	case Pochoir:
 		return trapezoid.New(), nil
 	case PLuTo:
-		return diamond.New(), nil
+		return &diamond.Scheme{Params: diamond.Params{
+			TimeBlock: params["timeBlock"],
+			Width:     params["width"],
+		}}, nil
 	default:
 		return nil, fmt.Errorf("nustencil: unknown scheme %q", name)
 	}
@@ -107,6 +143,12 @@ type Config struct {
 	// flags (Section III-B) — instead of the dependency-driven scheduler.
 	// Requires a scheme whose tiles all have owners (not CORALS/Pochoir).
 	StaticSchedule bool
+	// SchemeParams overrides the selected scheme's tunable parameters by
+	// name, using the same keys as the auto-tuner's search spaces
+	// (e.g. nuCORALS: tau, baseHeight, baseExtent, baseUnit; nuCATS:
+	// segment) — a tuned Setting plugs in directly. Zero or absent values
+	// keep the scheme's defaults; unknown keys are rejected by NewSolver.
+	SchemeParams map[string]int
 }
 
 func (c Config) withDefaults() Config {
@@ -168,13 +210,19 @@ func (r Report) Gupdates() float64 {
 func (r Report) GFLOPS() float64 { return r.Gupdates() * float64(r.FlopsPerUpdate) }
 
 // plan is a cached tiling: the tiles of one (scheme, timesteps) instance
-// with IDs assigned and the dependency graph derived. Everything in it is
-// a pure function of the solver configuration and the timestep count, so
-// repeated RunSteps calls (iterative solvers, benchmarks) skip both the
-// tiler and the O(tiles·deps) graph derivation.
+// with IDs assigned, the dependency graph derived, and every tile's in-tile
+// traversal materialized. Everything in it is a pure function of the solver
+// configuration and the timestep count, so repeated RunSteps calls
+// (iterative solvers, benchmarks) skip the tiler, the O(tiles·deps) graph
+// derivation, and the per-tile traversal construction — the execute path
+// only indexes into the plan.
 type plan struct {
 	tiles []*spacetime.Tile
 	deps  [][]int
+	// trav[id] is tile id's in-tile step order (plan-relative timesteps);
+	// interning it here removes the per-tile-per-run traversal allocation
+	// that otherwise dominates steady-state runs.
+	trav [][]tiling.StepBox
 }
 
 // ErrPoisoned is returned (wrapped, with the original cause) by every
@@ -194,7 +242,8 @@ type Solver struct {
 	coeffs *stencil.Coefficients
 	source []float64
 	scheme tiling.Scheme
-	steps  int // timesteps already run, for buffer parity
+	op     *stencil.Op // built once; grid, stencil and coefficients are fixed for the solver's lifetime
+	steps  int         // timesteps already run, for buffer parity
 	plans  map[int]*plan
 	// poison records the error that interrupted a run mid-plan, leaving the
 	// double buffers inconsistent. Non-nil blocks Run/Value/Export/Save
@@ -237,7 +286,7 @@ func NewSolver(cfg Config) (*Solver, error) {
 	if cfg.Periodic && cfg.Scheme != Naive {
 		return nil, fmt.Errorf("nustencil: periodic boundaries require the Naive scheme, got %s", cfg.Scheme)
 	}
-	sch, err := schemeFor(cfg.Scheme)
+	sch, err := schemeFor(cfg.Scheme, cfg.SchemeParams)
 	if err != nil {
 		return nil, err
 	}
@@ -249,6 +298,11 @@ func NewSolver(cfg Config) (*Solver, error) {
 		s.st = stencil.NewStarWithCoeffs(len(cfg.Dims), cfg.Order, cfg.Coeffs)
 	} else {
 		s.st = stencil.NewStar(len(cfg.Dims), cfg.Order)
+	}
+	if s.coeffs != nil {
+		s.op = stencil.NewBandedOp(s.st, s.g, s.coeffs)
+	} else {
+		s.op = stencil.NewOp(s.st, s.g)
 	}
 	return s, nil
 }
@@ -481,7 +535,11 @@ func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool, count
 			return rep, nil, nil, err
 		}
 		spacetime.AssignIDs(tiles)
-		pl = &plan{tiles: tiles, deps: engine.BuildDeps(tiles, cfg.Order, wrap)}
+		trav := make([][]tiling.StepBox, len(tiles))
+		for _, t := range tiles {
+			trav[t.ID] = tiling.TraverseOrDefault(s.scheme, t, cfg.Order)
+		}
+		pl = &plan{tiles: tiles, deps: engine.BuildDeps(tiles, cfg.Order, wrap), trav: trav}
 		if s.plans == nil {
 			s.plans = make(map[int]*plan)
 		}
@@ -489,18 +547,13 @@ func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool, count
 	}
 	tiles := pl.tiles
 
-	var op *stencil.Op
-	if s.coeffs != nil {
-		op = stencil.NewBandedOp(s.st, s.g, s.coeffs)
-	} else {
-		op = stencil.NewOp(s.st, s.g)
-	}
+	op := s.op
 	op.SetSource(s.source)
 	op.SetPeriodic(cfg.Periodic)
 	base := s.steps
 	var exec engine.Exec = func(w int, tile *spacetime.Tile) int64 {
 		var n int64
-		for _, sb := range tiling.TraverseOrDefault(s.scheme, tile, cfg.Order) {
+		for _, sb := range pl.trav[tile.ID] {
 			n += op.ApplyBox(sb.Box, base+sb.T)
 		}
 		return n

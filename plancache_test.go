@@ -1,0 +1,178 @@
+package nustencil
+
+import (
+	"testing"
+
+	"nustencil/internal/spacetime"
+	"nustencil/internal/tiling"
+)
+
+// countingScheme wraps a tiling scheme and counts Tiles invocations — the
+// observable cost the plan cache exists to avoid. Embedding the interface
+// (not a concrete type) deliberately hides any Traverser implementation;
+// the schemes used below have none.
+type countingScheme struct {
+	tiling.Scheme
+	tilesCalls int
+}
+
+func (c *countingScheme) Tiles(p *tiling.Problem) ([]*spacetime.Tile, error) {
+	c.tilesCalls++
+	return c.Scheme.Tiles(p)
+}
+
+// TestPlanCacheReusesTiling: a second RunSteps with the same timestep count
+// must reuse the cached plan (tiler not re-invoked), while a different
+// timestep count must rebuild.
+func TestPlanCacheReusesTiling(t *testing.T) {
+	s, err := NewSolver(Config{Dims: []int{18, 18, 18}, Timesteps: 4, Scheme: NuCORALS, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInitial(func(pt []int) float64 { return float64(pt[0] + pt[1]) })
+	cs := &countingScheme{Scheme: s.scheme}
+	s.scheme = cs
+
+	if _, err := s.RunSteps(4); err != nil {
+		t.Fatal(err)
+	}
+	if cs.tilesCalls != 1 {
+		t.Fatalf("first run invoked the tiler %d times, want 1", cs.tilesCalls)
+	}
+	if _, err := s.RunSteps(4); err != nil {
+		t.Fatal(err)
+	}
+	if cs.tilesCalls != 1 {
+		t.Fatalf("second identical run invoked the tiler again (%d calls): plan cache miss", cs.tilesCalls)
+	}
+	if _, err := s.RunSteps(2); err != nil {
+		t.Fatal(err)
+	}
+	if cs.tilesCalls != 2 {
+		t.Fatalf("different timestep count reused a stale plan (%d tiler calls, want 2)", cs.tilesCalls)
+	}
+	// Both plans stay cached: replaying either count stays tiler-free.
+	if _, err := s.RunSteps(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunSteps(2); err != nil {
+		t.Fatal(err)
+	}
+	if cs.tilesCalls != 2 {
+		t.Fatalf("replaying cached timestep counts rebuilt (%d tiler calls, want 2)", cs.tilesCalls)
+	}
+	if len(s.plans) != 2 {
+		t.Fatalf("plan cache holds %d plans, want 2", len(s.plans))
+	}
+}
+
+// TestPlanCachePerSolver: plans are keyed inside one solver; a solver with
+// different geometry or workers builds its own (nothing is shared that
+// could leak a stale tiling across configurations).
+func TestPlanCachePerSolver(t *testing.T) {
+	mk := func(dims []int, workers int) *Solver {
+		s, err := NewSolver(Config{Dims: dims, Timesteps: 3, Scheme: NuCORALS, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := mk([]int{18, 18, 18}, 2)
+	b := mk([]int{26, 14, 14}, 3)
+	if _, err := a.RunSteps(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RunSteps(3); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.plans[3], b.plans[3]
+	if pa == nil || pb == nil {
+		t.Fatal("plan not cached")
+	}
+	if pa == pb {
+		t.Fatal("solvers with different geometry share a plan")
+	}
+	if len(pa.trav) != len(pa.tiles) || len(pb.trav) != len(pb.tiles) {
+		t.Fatalf("interned traversals not aligned with tiles: %d/%d and %d/%d",
+			len(pa.trav), len(pa.tiles), len(pb.trav), len(pb.tiles))
+	}
+}
+
+// TestCachedPlanRunAllocs pins the allocation diet end to end: once the
+// plan is cached, a RunSteps execution must allocate O(1) — per-run
+// scheduler state comes from the pool, traversals and dependency arrays
+// from the plan — not O(tiles). Before the diet this path cost several
+// allocations per tile.
+func TestCachedPlanRunAllocs(t *testing.T) {
+	s, err := NewSolver(Config{
+		Dims: []int{34, 34, 34}, Timesteps: 8, Scheme: NuCORALS, Workers: 2,
+		// Small base parallelograms force a tiling with hundreds of tiles so
+		// the O(1)-vs-O(tiles) distinction is observable.
+		SchemeParams: map[string]int{"baseHeight": 2, "baseExtent": 8, "baseUnit": 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInitial(func(pt []int) float64 { return float64(pt[0]) })
+	rep, err := s.RunSteps(8) // build + warm the plan cache and scheduler pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tiles < 50 {
+		t.Fatalf("want a tiling big enough to make the bound meaningful, got %d tiles", rep.Tiles)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := s.RunSteps(8); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("steady-state RunSteps: %.1f allocs/run over %d tiles", avg, rep.Tiles)
+	// The bound is intentionally loose (goroutine spawns, report slices,
+	// closures) but far below one allocation per tile.
+	if avg > float64(rep.Tiles)/2 || avg > 150 {
+		t.Fatalf("steady-state RunSteps allocates %.1f per run (%d tiles): plan cache or scheduler pool regressed", avg, rep.Tiles)
+	}
+}
+
+// TestSchemeParams: tuner-style parameters reach the scheme (observable as
+// a different tiling) without changing the numerics, and unknown keys are
+// rejected up front.
+func TestSchemeParams(t *testing.T) {
+	run := func(params map[string]int) (Report, *Solver) {
+		s, err := NewSolver(Config{
+			Dims: []int{16, 16, 16}, Timesteps: 6, Scheme: NuCORALS,
+			Workers: 2, SchemeParams: params,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetInitial(func(pt []int) float64 { return float64(pt[0]*3+pt[2]) * 0.125 })
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, s
+	}
+	defRep, defS := run(nil)
+	tunedRep, tunedS := run(map[string]int{"baseHeight": 2, "baseExtent": 4, "baseUnit": 8})
+	if tunedRep.Tiles == defRep.Tiles {
+		t.Errorf("SchemeParams did not reach the tiler: %d tiles either way", tunedRep.Tiles)
+	}
+	probe := []int{8, 8, 8}
+	if a, b := defS.Value(probe), tunedS.Value(probe); a != b {
+		t.Errorf("tuned parameters changed the numerics: %v vs %v", a, b)
+	}
+
+	if _, err := NewSolver(Config{
+		Dims: []int{16, 16, 16}, Timesteps: 1, Scheme: NuCORALS,
+		SchemeParams: map[string]int{"bogus": 3},
+	}); err == nil {
+		t.Error("unknown SchemeParams key accepted")
+	}
+	if _, err := NewSolver(Config{
+		Dims: []int{16, 16, 16}, Timesteps: 1, Scheme: Naive,
+		SchemeParams: map[string]int{"segment": 2},
+	}); err == nil {
+		t.Error("parameter for a parameterless scheme accepted")
+	}
+}

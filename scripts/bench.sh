@@ -22,15 +22,45 @@ go test -race ./internal/engine/... ./internal/stencil/... ./internal/trace/... 
 echo "== go vet =="
 go vet ./...
 
+# Parse benchmark lines by unit name, not column position: custom metrics
+# (e.g. EngineOverhead's ns/tile) shift the columns, so "$3 $5 $7" silently
+# reads the wrong numbers. Output: name ns/op B/op allocs/op.
 run_bench() { # dir outfile
     (cd "$1" && go test -run 'xxx' -bench "$BENCH_RE" -benchtime "$BENCHTIME" -benchmem . 2>/dev/null) \
-        | awk '/^Benchmark/{print $1, $3, $5, $7}' > "$2"
+        | awk '/^Benchmark/{
+              ns = ""; b = ""; a = ""
+              for (i = 2; i < NF; i++) {
+                  if ($(i+1) == "ns/op") ns = $i
+                  else if ($(i+1) == "B/op") b = $i
+                  else if ($(i+1) == "allocs/op") a = $i
+              }
+              print $1, ns, b, a
+          }' > "$2"
 }
 
 echo "== benchmarks (current tree) =="
 AFTER="$(mktemp)"
 run_bench . "$AFTER"
 cat "$AFTER"
+
+# Allocation regression gate: the committed BENCH_engine.json records the
+# allocation budget for the engine-overhead benchmarks; fail the run if the
+# current tree exceeds a recorded budget by more than 10%. Budgets are read
+# before the file is regenerated below, so an intentional raise is a matter
+# of committing the fresh BENCH_engine.json this run writes.
+GATE_MSGS=""
+if [ -f BENCH_engine.json ]; then
+    while read -r name allocs; do
+        [ -n "$allocs" ] || continue
+        budget="$(sed -n "s|.*\"name\": \"$name\",.*\"allocs_per_op\": \([0-9][0-9]*\),.*|\1|p" BENCH_engine.json | head -n1)"
+        [ -n "$budget" ] || continue
+        limit=$(( budget + budget / 10 ))
+        if [ "$allocs" -gt "$limit" ]; then
+            GATE_MSGS="${GATE_MSGS}allocation regression: $name at $allocs allocs/op exceeds recorded budget $budget by >10%
+"
+        fi
+    done < <(awk '$1 ~ /^BenchmarkEngineOverhead/ {print $1, $4}' "$AFTER")
+fi
 
 BEFORE=""
 if [ "$BASE_REF" != "none" ] && git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
@@ -76,6 +106,12 @@ elif command -v jq >/dev/null 2>&1; then
     jq -e . BENCH_engine.json > /dev/null
 fi
 echo "wrote BENCH_engine.json"
+
+if [ -n "$GATE_MSGS" ]; then
+    printf '%s' "$GATE_MSGS" >&2
+    echo "allocation gate FAILED (fresh numbers were still written; commit BENCH_engine.json only to raise the budget deliberately)" >&2
+    exit 1
+fi
 
 # Counter trajectory: an instrumented reference run whose simulated counters
 # and bottleneck attribution ride along with the benchmark numbers, so the
