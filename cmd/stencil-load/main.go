@@ -1,0 +1,96 @@
+// Command stencil-load drives a Zipf-skewed job stream against a
+// running stencil-serve daemon and reports throughput, the latency
+// distribution of submit→result round trips, and per-tenant fairness
+// under the skew. Closed loop by default (each worker submits, polls to
+// completion, repeats); -rate switches to open-loop arrivals.
+//
+// Example:
+//
+//	stencil-load -target http://localhost:8080 -jobs 1000 -tenants 8 -zipf 1.5
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"nustencil"
+	"nustencil/internal/cliutil"
+	"nustencil/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stencil-load: ")
+
+	target := flag.String("target", "http://localhost:8080", "stencil-serve base URL")
+	jobs := flag.Int("jobs", 1000, "jobs to drive to completion")
+	conc := flag.Int("conc", 4, "closed-loop workers")
+	rate := flag.Float64("rate", 0, "open-loop arrivals per second (0 = closed loop)")
+	tenants := flag.Int("tenants", 8, "distinct tenants")
+	zipfS := flag.Float64("zipf", 1.5, "Zipf skew exponent s > 1 (higher = more skew toward tenant-0)")
+	seed := flag.Int64("seed", 1, "tenant-draw seed")
+	dims := flag.String("dims", "34x34x34", "per-job grid dimensions")
+	steps := flag.Int("steps", 4, "per-job timesteps")
+	scheme := flag.String("scheme", "nuCORALS", "per-job tiling scheme")
+	workers := flag.Int("workers", 2, "per-job solver workers")
+	counters := flag.Bool("counters", false, "request simulated performance counters per job")
+	deadline := flag.Duration("deadline", 0, "per-job deadline sent in the spec (0 = server default)")
+	poll := flag.Duration("poll", 5*time.Millisecond, "result polling period")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-job submit-to-result bound, retries included")
+	jsonOut := flag.Bool("json", false, "print the load report as JSON instead of text")
+	flag.Parse()
+
+	d, err := cliutil.ParseDims(*dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := server.JobSpec{
+		Problem: nustencil.Config{
+			Dims:      d,
+			Timesteps: *steps,
+			Scheme:    nustencil.SchemeName(*scheme),
+			Workers:   *workers,
+			NUMANodes: 2,
+		},
+		Run: nustencil.RunSpec{Timesteps: *steps, Counters: *counters},
+	}
+	if *deadline > 0 {
+		spec.DeadlineMS = deadline.Milliseconds()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := server.Load(ctx, server.LoadOptions{
+		BaseURL:      *target,
+		Jobs:         *jobs,
+		Concurrency:  *conc,
+		OpenLoopRate: *rate,
+		Tenants:      *tenants,
+		ZipfS:        *zipfS,
+		Seed:         *seed,
+		Template:     spec,
+		PollPeriod:   *poll,
+		JobTimeout:   *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Print(rep)
+	}
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}

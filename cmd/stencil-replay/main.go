@@ -3,12 +3,25 @@
 // generates — the bottom-up validation of the analytic cost model: temporal
 // blocking cuts memory words per update, NUMA-aware placement keeps the
 // traffic local.
+//
+// With -job, it instead replays a captured server job spec: the JSON a
+// client POSTed to stencil-serve (JobSpec marshals deterministically —
+// sorted scheme_params keys — so a stored spec re-executes byte for
+// byte) runs locally through the same path the server's executors use,
+// and the result document prints to stdout.
+//
+//	stencil-replay -job job.json
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"nustencil/internal/affinity"
 	"nustencil/internal/cachesim"
@@ -22,6 +35,7 @@ import (
 	"nustencil/internal/tiling/nucats"
 	"nustencil/internal/tiling/nucorals"
 	"nustencil/internal/tiling/trapezoid"
+	"nustencil/server"
 )
 
 func main() {
@@ -34,7 +48,15 @@ func main() {
 	nodes := flag.Int("nodes", 2, "simulated NUMA nodes")
 	l1 := flag.Int("l1", 8, "private L1 KiB per core")
 	llc := flag.Int("llc", 128, "LLC KiB per core")
+	jobPath := flag.String("job", "", "replay a server JobSpec JSON from this path (- for stdin) instead of the cache replay")
 	flag.Parse()
+
+	if *jobPath != "" {
+		if err := replayJob(*jobPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	levels := []cachesim.LevelConfig{
 		{Name: "L1", SizeBytes: *l1 << 10, LineBytes: 64, Assoc: 4},
@@ -80,4 +102,33 @@ func main() {
 			sch.Name(), st.MemWordsPerUpdate(64, updates), llcRate*100,
 			st.LocalFraction(), node0)
 	}
+}
+
+// replayJob re-executes one captured job spec through server.RunLocal —
+// the exact code path the daemon's executors run — and prints the
+// result document (report, trace digest, bottleneck, counters).
+func replayJob(path string) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	var spec server.JobSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("decode job spec: %w", err)
+	}
+	out, err := server.RunLocal(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

@@ -103,8 +103,17 @@ func realMain(args []string, stdout io.Writer) error {
 	if *periodic {
 		cfg.Scheme = nustencil.Naive
 	}
-	traced := *traceW > 0 || *traceJSONPath != ""
-	counted := *counters || *countersJSONPath != "" || *promPath != ""
+	// Every flag combination collapses into one RunSpec: which outputs the
+	// user asked for decides what the single Execute call collects.
+	spec := nustencil.RunSpec{
+		Timesteps:     *steps,
+		Trace:         *traceW > 0 || *traceJSONPath != "",
+		TimelineWidth: *traceW,
+		Counters:      *counters || *countersJSONPath != "" || *promPath != "",
+	}
+	if spec.Counters {
+		spec.Machine = nustencil.MachineName(*machineName)
+	}
 	// stdout carries at most one JSON document: "-" outputs buffer here and
 	// either stream directly (one doc) or wrap in a single envelope (more).
 	var stdoutDocs []jsonDoc
@@ -116,14 +125,11 @@ func realMain(args []string, stdout io.Writer) error {
 		}
 	}
 
-	var opts *nustencil.CounterOptions
-	if counted {
-		opts = &nustencil.CounterOptions{Machine: nustencil.MachineName(*machineName)}
-	}
-	rep, probe, tr, pc, err := run(ctx, cfg, traced, opts)
+	out, probe, err := run(ctx, cfg, spec)
 	if err != nil {
 		return err
 	}
+	rep, tr, pc := out.Report, out.Trace, out.Counters
 	fmt.Fprintf(stdout, "scheme     %s\n", rep.Scheme)
 	fmt.Fprintf(stdout, "domain     %s, %d timesteps, order %d, banded=%v\n", *dims, *steps, *order, *banded)
 	fmt.Fprintf(stdout, "workers    %d\n", rep.Workers)
@@ -135,8 +141,8 @@ func realMain(args []string, stdout io.Writer) error {
 	if rep.Imbalance > 0 {
 		fmt.Fprintf(stdout, "imbalance  %.2f (max/mean worker busy time)\n", rep.Imbalance)
 	}
-	if *traceW > 0 && tr != nil {
-		fmt.Fprint(stdout, tr.Timeline(*traceW))
+	if out.Timeline != "" {
+		fmt.Fprint(stdout, out.Timeline)
 	}
 	if *counters && pc != nil {
 		fmt.Fprint(stdout, pc.Describe())
@@ -185,7 +191,7 @@ func realMain(args []string, stdout io.Writer) error {
 
 	if *verify {
 		cfg.Scheme = nustencil.Naive
-		_, want, _, _, err := run(ctx, cfg, false, nil)
+		_, want, err := run(ctx, cfg, nustencil.RunSpec{Timesteps: *steps})
 		if err != nil {
 			return err
 		}
@@ -254,10 +260,13 @@ func writeOut(path string, stdout io.Writer, f func(io.Writer) error) error {
 	return out.Close()
 }
 
-func run(ctx context.Context, cfg nustencil.Config, traced bool, counted *nustencil.CounterOptions) (nustencil.Report, float64, *nustencil.Trace, *nustencil.PerfCounters, error) {
+// run builds a solver with the reproducible initial condition and hands
+// the spec to the one Execute entrypoint — no per-flag-combination
+// dispatch: the spec already says what to collect.
+func run(ctx context.Context, cfg nustencil.Config, spec nustencil.RunSpec) (*nustencil.RunOutput, float64, error) {
 	s, err := nustencil.NewSolver(cfg)
 	if err != nil {
-		return nustencil.Report{}, 0, nil, nil, err
+		return nil, 0, err
 	}
 	// A reproducible, spatially varying initial condition.
 	s.SetInitial(func(pt []int) float64 {
@@ -275,28 +284,16 @@ func run(ctx context.Context, cfg nustencil.Config, traced bool, counted *nusten
 			}
 			return 0.5 / float64(np-1)
 		}); err != nil {
-			return nustencil.Report{}, 0, nil, nil, err
+			return nil, 0, err
 		}
 	}
-	var rep nustencil.Report
-	var tr *nustencil.Trace
-	var pc *nustencil.PerfCounters
-	switch {
-	case traced && counted != nil:
-		rep, tr, pc, err = s.RunStepsTraceCountedContext(ctx, cfg.Timesteps, *counted)
-	case traced:
-		rep, tr, err = s.RunStepsTraceContext(ctx, cfg.Timesteps)
-	case counted != nil:
-		rep, pc, err = s.RunStepsCountedContext(ctx, cfg.Timesteps, *counted)
-	default:
-		rep, err = s.RunContext(ctx)
-	}
+	out, err := s.Execute(ctx, spec)
 	if err != nil {
-		return rep, 0, nil, nil, err
+		return nil, 0, err
 	}
 	probe := make([]int, len(cfg.Dims))
 	for k := range probe {
 		probe[k] = cfg.Dims[k] / 2
 	}
-	return rep, s.Value(probe), tr, pc, nil
+	return out, s.Value(probe), nil
 }

@@ -1,0 +1,76 @@
+// Command stencil-serve runs the stencil-as-a-service daemon: a
+// persistent multi-tenant HTTP job server over the library's Execute
+// API. Clients POST JSON job specs to /jobs, poll /jobs/{id} for
+// results, and scrape /metrics (server counters) and /jobs/{id}/metrics
+// (a counted job's simulated performance counters) in Prometheus text
+// format.
+//
+// Example:
+//
+//	stencil-serve -addr :8080 -executors 2 &
+//	curl -s -X POST localhost:8080/jobs -d '{
+//	  "tenant": "demo",
+//	  "problem": {"dims": [66,66,66], "scheme": "nuCORALS", "workers": 4},
+//	  "run": {"timesteps": 20, "counters": true}
+//	}'
+//	curl -s localhost:8080/jobs/job-00000001
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nustencil/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stencil-serve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	executors := flag.Int("executors", 2, "jobs executing concurrently (each job parallelizes across its own workers)")
+	queue := flag.Int("queue", 256, "global queued-job bound; beyond it submissions get 429")
+	tenantQueue := flag.Int("tenant-queue", 64, "per-tenant queued-job bound")
+	defaultDeadline := flag.Duration("default-deadline", time.Minute, "per-job latency budget (queueing included) when the spec names none")
+	maxDeadline := flag.Duration("max-deadline", 10*time.Minute, "upper clamp on spec-requested deadlines")
+	maxCells := flag.Int64("max-cells", 64<<20, "admission limit on grid cells per job")
+	maxSteps := flag.Int("max-steps", 100_000, "admission limit on timesteps per job")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Executors:        *executors,
+		QueueDepth:       *queue,
+		TenantQueueDepth: *tenantQueue,
+		DefaultDeadline:  *defaultDeadline,
+		MaxDeadline:      *maxDeadline,
+		Limits:           server.Limits{MaxCells: *maxCells, MaxTimesteps: *maxSteps},
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Close()
+	}()
+
+	log.Printf("listening on %s (%d executors, queue %d, tenant queue %d)", *addr, *executors, *queue, *tenantQueue)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}

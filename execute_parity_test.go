@@ -1,0 +1,267 @@
+package nustencil
+
+import (
+	"context"
+	"testing"
+)
+
+// parityConfig is the problem every parity case solves. Workers=1 makes
+// every observable deterministic: tile→worker assignment, per-worker
+// update counts, and the counter byte splits are all fixed, so two runs
+// of the same spec must agree bit for bit.
+func parityConfig() Config {
+	return Config{
+		Dims:      []int{22, 22, 22},
+		Timesteps: 4,
+		Scheme:    NuCORALS,
+		Workers:   1,
+		NUMANodes: 2,
+	}
+}
+
+func paritySolver(t *testing.T, cfg Config) *Solver {
+	t.Helper()
+	s, err := NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInitial(func(pt []int) float64 {
+		v := 1.0
+		for k, c := range pt {
+			v += float64(c) * float64(k+1) * 0.001
+		}
+		return v
+	})
+	return s
+}
+
+// variantResult is the deterministic subset of what one legacy variant
+// returned, normalized so it can be compared against Execute's output.
+type variantResult struct {
+	rep      Report
+	trace    *Trace
+	timeline string
+	counters *PerfCounters
+	err      error
+}
+
+// TestLegacyVariantsMatchExecute is the migration parity table: every
+// one of the 12 legacy Run*/RunSteps* variants must produce the same
+// grid state and the same deterministic report/trace/counter content as
+// the equivalent Execute(RunSpec) call on an identically prepared twin
+// solver.
+func TestLegacyVariantsMatchExecute(t *testing.T) {
+	const steps = 4
+	ctx := context.Background()
+	copts := CounterOptions{Machine: XeonX7550, SamplePeriod: -1}
+	countedSpec := RunSpec{Timesteps: steps, Counters: true, Machine: XeonX7550, SamplePeriod: -1}
+
+	cases := []struct {
+		name   string
+		legacy func(s *Solver) variantResult
+		spec   RunSpec
+	}{
+		{"Run", func(s *Solver) variantResult {
+			rep, err := s.Run()
+			return variantResult{rep: rep, err: err}
+		}, RunSpec{Timesteps: steps}},
+		{"RunContext", func(s *Solver) variantResult {
+			rep, err := s.RunContext(ctx)
+			return variantResult{rep: rep, err: err}
+		}, RunSpec{Timesteps: steps}},
+		{"RunSteps", func(s *Solver) variantResult {
+			rep, err := s.RunSteps(steps)
+			return variantResult{rep: rep, err: err}
+		}, RunSpec{Timesteps: steps}},
+		{"RunStepsContext", func(s *Solver) variantResult {
+			rep, err := s.RunStepsContext(ctx, steps)
+			return variantResult{rep: rep, err: err}
+		}, RunSpec{Timesteps: steps}},
+		{"RunStepsCounted", func(s *Solver) variantResult {
+			rep, pc, err := s.RunStepsCounted(steps, copts)
+			return variantResult{rep: rep, counters: pc, err: err}
+		}, countedSpec},
+		{"RunStepsCountedContext", func(s *Solver) variantResult {
+			rep, pc, err := s.RunStepsCountedContext(ctx, steps, copts)
+			return variantResult{rep: rep, counters: pc, err: err}
+		}, countedSpec},
+		{"RunStepsTrace", func(s *Solver) variantResult {
+			rep, tr, err := s.RunStepsTrace(steps)
+			return variantResult{rep: rep, trace: tr, err: err}
+		}, RunSpec{Timesteps: steps, Trace: true}},
+		{"RunStepsTraceContext", func(s *Solver) variantResult {
+			rep, tr, err := s.RunStepsTraceContext(ctx, steps)
+			return variantResult{rep: rep, trace: tr, err: err}
+		}, RunSpec{Timesteps: steps, Trace: true}},
+		{"RunStepsTraced", func(s *Solver) variantResult {
+			rep, tl, err := s.RunStepsTraced(steps, 40)
+			return variantResult{rep: rep, timeline: tl, err: err}
+		}, RunSpec{Timesteps: steps, Trace: true, TimelineWidth: 40}},
+		{"RunStepsTracedContext", func(s *Solver) variantResult {
+			rep, tl, err := s.RunStepsTracedContext(ctx, steps, 40)
+			return variantResult{rep: rep, timeline: tl, err: err}
+		}, RunSpec{Timesteps: steps, Trace: true, TimelineWidth: 40}},
+		{"RunStepsTraceCounted", func(s *Solver) variantResult {
+			rep, tr, pc, err := s.RunStepsTraceCounted(steps, copts)
+			return variantResult{rep: rep, trace: tr, counters: pc, err: err}
+		}, RunSpec{Timesteps: steps, Trace: true, Counters: true, Machine: XeonX7550, SamplePeriod: -1}},
+		{"RunStepsTraceCountedContext", func(s *Solver) variantResult {
+			rep, tr, pc, err := s.RunStepsTraceCountedContext(ctx, steps, copts)
+			return variantResult{rep: rep, trace: tr, counters: pc, err: err}
+		}, RunSpec{Timesteps: steps, Trace: true, Counters: true, Machine: XeonX7550, SamplePeriod: -1}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacySolver := paritySolver(t, parityConfig())
+			execSolver := paritySolver(t, parityConfig())
+
+			got := tc.legacy(legacySolver)
+			if got.err != nil {
+				t.Fatalf("legacy %s: %v", tc.name, got.err)
+			}
+			out, err := execSolver.Execute(ctx, tc.spec)
+			if err != nil {
+				t.Fatalf("Execute: %v", err)
+			}
+
+			// Grid state must be bit-identical.
+			a := legacySolver.Export(nil)
+			b := execSolver.Export(nil)
+			if len(a) != len(b) {
+				t.Fatalf("export lengths differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("grid state diverges at %d: %v vs %v", i, a[i], b[i])
+				}
+			}
+
+			// Deterministic report content must agree (Seconds is wall clock
+			// and may differ).
+			cmpRep := func(field string, x, y any) {
+				if x != y {
+					t.Errorf("Report.%s: legacy %v vs Execute %v", field, x, y)
+				}
+			}
+			cmpRep("Scheme", got.rep.Scheme, out.Report.Scheme)
+			cmpRep("Workers", got.rep.Workers, out.Report.Workers)
+			cmpRep("Timesteps", got.rep.Timesteps, out.Report.Timesteps)
+			cmpRep("Updates", got.rep.Updates, out.Report.Updates)
+			cmpRep("Tiles", got.rep.Tiles, out.Report.Tiles)
+			cmpRep("FlopsPerUpdate", got.rep.FlopsPerUpdate, out.Report.FlopsPerUpdate)
+			if len(got.rep.UpdatesPerWorker) != len(out.Report.UpdatesPerWorker) {
+				t.Fatalf("UpdatesPerWorker lengths differ")
+			}
+			for i := range got.rep.UpdatesPerWorker {
+				cmpRep("UpdatesPerWorker", got.rep.UpdatesPerWorker[i], out.Report.UpdatesPerWorker[i])
+			}
+
+			// Trace presence and deterministic digest content. (The Traced
+			// variants return only the rendered timeline, so absence of a
+			// legacy *Trace is expected there.)
+			if tc.spec.Trace && out.Trace == nil {
+				t.Fatal("Execute returned no trace for a traced spec")
+			}
+			if got.trace != nil && out.Trace == nil {
+				t.Fatal("legacy returned a trace but Execute did not")
+			}
+			if got.trace != nil && out.Trace != nil {
+				sa, sb := got.trace.Summary(), out.Trace.Summary()
+				cmpRep("Trace.Tiles", sa.Tiles, sb.Tiles)
+				cmpRep("Trace.Updates", sa.Updates, sb.Updates)
+			}
+			if (got.timeline != "") != (tc.spec.TimelineWidth > 0) {
+				t.Errorf("timeline presence: %q for width %d", got.timeline, tc.spec.TimelineWidth)
+			}
+			if tc.spec.TimelineWidth > 0 && out.Timeline == "" {
+				t.Errorf("Execute rendered no timeline for width %d", tc.spec.TimelineWidth)
+			}
+
+			// Counter presence and every model-priced (deterministic) field.
+			if (got.counters != nil) != (out.Counters != nil) {
+				t.Fatalf("counters presence: legacy %v vs Execute %v", got.counters != nil, out.Counters != nil)
+			}
+			if got.counters != nil {
+				pa, pb := got.counters, out.Counters
+				cmpRep("Counters.Updates", pa.Updates(), pb.Updates())
+				cmpRep("Counters.Flops", pa.Flops(), pb.Flops())
+				cmpRep("Counters.LLCBytes", pa.LLCBytes(), pb.LLCBytes())
+				cmpRep("Counters.MainBytes", pa.MainBytes(), pb.MainBytes())
+				cmpRep("Counters.LocalBytes", pa.LocalBytes(), pb.LocalBytes())
+				cmpRep("Counters.RemoteBytes", pa.RemoteBytes(), pb.RemoteBytes())
+				cmpRep("Bottleneck.Binding", pa.Bottleneck().Binding, pb.Bottleneck().Binding)
+			}
+		})
+	}
+}
+
+// TestLegacyVariantsMatchExecuteStatic re-runs a slice of the parity
+// table under the static executor with multiple workers: owner-assigned
+// tiles make the per-worker split deterministic there too.
+func TestLegacyVariantsMatchExecuteStatic(t *testing.T) {
+	cfg := parityConfig()
+	cfg.Workers = 2
+	cfg.StaticSchedule = true
+
+	legacySolver := paritySolver(t, cfg)
+	execSolver := paritySolver(t, cfg)
+
+	rep, err := legacySolver.RunSteps(cfg.Timesteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := execSolver.Execute(nil, RunSpec{Timesteps: cfg.Timesteps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Updates != out.Report.Updates || rep.Tiles != out.Report.Tiles {
+		t.Fatalf("static parity: legacy %d updates/%d tiles vs Execute %d/%d",
+			rep.Updates, rep.Tiles, out.Report.Updates, out.Report.Tiles)
+	}
+	for i := range rep.UpdatesPerWorker {
+		if rep.UpdatesPerWorker[i] != out.Report.UpdatesPerWorker[i] {
+			t.Fatalf("static per-worker split diverges at %d", i)
+		}
+	}
+	a, b := legacySolver.Export(nil), execSolver.Export(nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("static grid state diverges at %d", i)
+		}
+	}
+}
+
+// TestExecuteZeroSteps pins the explicit-zero contract the shims depend
+// on: a zero-timestep spec is a no-op, not "use the configured default".
+func TestExecuteZeroSteps(t *testing.T) {
+	s := paritySolver(t, parityConfig())
+	out, err := s.Execute(nil, RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Report.Updates != 0 || out.Report.Tiles != 0 {
+		t.Fatalf("zero-step spec ran work: %+v", out.Report)
+	}
+	if len(out.Report.UpdatesPerWorker) != parityConfig().Workers {
+		t.Fatalf("zero-step report lost its per-worker shape: %+v", out.Report)
+	}
+}
+
+// TestExecutePoisonsOnCancel pins the failure contract through the new
+// entrypoint: an expired context fails the run, poisons the solver, and
+// later Execute calls refuse with ErrPoisoned.
+func TestExecutePoisonsOnCancel(t *testing.T) {
+	s := paritySolver(t, parityConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Execute(ctx, RunSpec{Timesteps: 4}); err == nil {
+		t.Fatal("cancelled Execute succeeded")
+	}
+	if err := s.Err(); err == nil {
+		t.Fatal("solver not poisoned after cancelled Execute")
+	}
+	if _, err := s.Execute(nil, RunSpec{Timesteps: 4}); err == nil {
+		t.Fatal("poisoned solver accepted another Execute")
+	}
+}

@@ -104,51 +104,55 @@ func schemeFor(name SchemeName, params map[string]int) (tiling.Scheme, error) {
 	}
 }
 
-// Config describes an iterative stencil computation.
+// Config describes an iterative stencil computation. It marshals to
+// stable snake_case JSON (the job server's wire form); SchemeParams
+// serializes with sorted keys (encoding/json sorts map keys), so an
+// encoded Config is deterministic byte for byte and a job built from it
+// replays exactly.
 type Config struct {
 	// Dims are the grid dimensions including the fixed boundary ring of
 	// width Order; the last dimension is unit stride. Required.
-	Dims []int
+	Dims []int `json:"dims"`
 	// Order is the stencil order s (default 1). The star stencil has
 	// 1 + 2·len(Dims)·Order points.
-	Order int
+	Order int `json:"order,omitempty"`
 	// Banded selects per-cell variable coefficients (a product with a
 	// sparse banded matrix). Initialize them with Solver.SetCoefficients.
-	Banded bool
+	Banded bool `json:"banded,omitempty"`
 	// Coeffs are the constant stencil coefficients in stencil point order;
 	// nil uses normalized Jacobi weights. Ignored when Banded.
-	Coeffs []float64
+	Coeffs []float64 `json:"coeffs,omitempty"`
 	// Timesteps is the number of Jacobi iterations Run performs. Required.
-	Timesteps int
+	Timesteps int `json:"timesteps,omitempty"`
 	// Scheme selects the tiling scheme (default NuCORALS).
-	Scheme SchemeName
+	Scheme SchemeName `json:"scheme,omitempty"`
 	// Workers is the thread count n (default runtime.NumCPU()).
-	Workers int
+	Workers int `json:"workers,omitempty"`
 	// NUMANodes sets the modeled node count for page-ownership accounting
 	// (default 1). Workers spread over nodes socket by socket.
-	NUMANodes int
+	NUMANodes int `json:"numa_nodes,omitempty"`
 	// LLCBytesPerWorker is the cache-size hint for the cache-aware schemes
 	// (default 1 MiB).
-	LLCBytesPerWorker int64
+	LLCBytesPerWorker int64 `json:"llc_bytes_per_worker,omitempty"`
 	// PinThreads best-effort pins worker OS threads to CPUs (Linux).
-	PinThreads bool
+	PinThreads bool `json:"pin_threads,omitempty"`
 	// Periodic selects wrapped (torus) boundaries instead of the default
 	// fixed Dirichlet ring: every cell updates and neighbour reads wrap
 	// across the seams. Only the Naive scheme supports periodic problems
 	// (the temporal blocking geometry assumes a flat space); with Periodic
 	// set and no explicit Scheme, Naive is the default.
-	Periodic bool
+	Periodic bool `json:"periodic,omitempty"`
 	// StaticSchedule executes with the paper's literal synchronization
 	// structure — per-worker static tile lists and spin-wait completion
 	// flags (Section III-B) — instead of the dependency-driven scheduler.
 	// Requires a scheme whose tiles all have owners (not CORALS/Pochoir).
-	StaticSchedule bool
+	StaticSchedule bool `json:"static_schedule,omitempty"`
 	// SchemeParams overrides the selected scheme's tunable parameters by
 	// name, using the same keys as the auto-tuner's search spaces
 	// (e.g. nuCORALS: tau, baseHeight, baseExtent, baseUnit; nuCATS:
 	// segment) — a tuned Setting plugs in directly. Zero or absent values
 	// keep the scheme's defaults; unknown keys are rejected by NewSolver.
-	SchemeParams map[string]int
+	SchemeParams map[string]int `json:"scheme_params,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -398,27 +402,38 @@ func (s *Solver) StencilDescription() string { return s.st.String() }
 // each call continues from the current state. If a run fails mid-plan —
 // cancellation, a panicking kernel — the solver is poisoned (see
 // ErrPoisoned) until Import or Load restores a consistent state.
+//
+// Deprecated: use Execute(nil, RunSpec{Timesteps: cfg.Timesteps}). Run
+// remains as a convenience shim and will not be removed.
 func (s *Solver) Run() (Report, error) {
-	return s.RunSteps(s.cfg.Timesteps)
+	out, err := s.Execute(nil, RunSpec{Timesteps: s.cfg.Timesteps})
+	return out.Report, err
 }
 
 // RunContext is Run bounded by ctx: when ctx is cancelled or its deadline
 // passes, the engine stops within roughly one tile execution and the error
 // is ctx.Err(). The interrupted solver is poisoned (see ErrPoisoned).
+//
+// Deprecated: use Execute(ctx, RunSpec{Timesteps: cfg.Timesteps}).
 func (s *Solver) RunContext(ctx context.Context) (Report, error) {
-	return s.RunStepsContext(ctx, s.cfg.Timesteps)
+	out, err := s.Execute(ctx, RunSpec{Timesteps: s.cfg.Timesteps})
+	return out.Report, err
 }
 
 // RunSteps advances the grid by an explicit number of timesteps.
+//
+// Deprecated: use Execute(nil, RunSpec{Timesteps: timesteps}).
 func (s *Solver) RunSteps(timesteps int) (Report, error) {
-	rep, _, _, err := s.runSteps(nil, timesteps, false, nil)
-	return rep, err
+	out, err := s.Execute(nil, RunSpec{Timesteps: timesteps})
+	return out.Report, err
 }
 
 // RunStepsContext is RunSteps bounded by ctx (see RunContext).
+//
+// Deprecated: use Execute(ctx, RunSpec{Timesteps: timesteps}).
 func (s *Solver) RunStepsContext(ctx context.Context, timesteps int) (Report, error) {
-	rep, _, _, err := s.runSteps(ctx, timesteps, false, nil)
-	return rep, err
+	out, err := s.Execute(ctx, RunSpec{Timesteps: timesteps})
+	return out.Report, err
 }
 
 // RunStepsCounted is RunSteps with simulated performance counters: the run
@@ -427,66 +442,80 @@ func (s *Solver) RunStepsContext(ctx context.Context, timesteps int) (Report, er
 // grid's page ownership — and the folded counters arrive with a bottleneck
 // attribution naming the analytic bound that binds the run. Collection
 // adds one timestamp pair per tile and no shared atomics.
+//
+// Deprecated: use Execute with RunSpec{Counters: true, Machine: ...,
+// SamplePeriod: ...}.
 func (s *Solver) RunStepsCounted(timesteps int, opts CounterOptions) (Report, *PerfCounters, error) {
-	rep, _, pc, err := s.runSteps(nil, timesteps, false, &opts)
-	return rep, pc, err
+	out, err := s.Execute(nil, RunSpec{Timesteps: timesteps, Counters: true, Machine: opts.Machine, SamplePeriod: opts.SamplePeriod})
+	return out.Report, out.Counters, err
 }
 
 // RunStepsCountedContext is RunStepsCounted bounded by ctx (see
 // RunContext).
+//
+// Deprecated: use Execute with RunSpec{Counters: true, Machine: ...,
+// SamplePeriod: ...}.
 func (s *Solver) RunStepsCountedContext(ctx context.Context, timesteps int, opts CounterOptions) (Report, *PerfCounters, error) {
-	rep, _, pc, err := s.runSteps(ctx, timesteps, false, &opts)
-	return rep, pc, err
+	out, err := s.Execute(ctx, RunSpec{Timesteps: timesteps, Counters: true, Machine: opts.Machine, SamplePeriod: opts.SamplePeriod})
+	return out.Report, out.Counters, err
 }
 
 // RunStepsTraceCounted combines RunStepsTrace and RunStepsCounted: the
 // returned trace additionally carries the scheduler samples as Chrome
 // trace counter tracks ("ph":"C" events — ready tiles and idle workers
 // render as graphs above the worker lanes in Perfetto).
+//
+// Deprecated: use Execute with RunSpec{Trace: true, Counters: true, ...}.
 func (s *Solver) RunStepsTraceCounted(timesteps int, opts CounterOptions) (Report, *Trace, *PerfCounters, error) {
-	return s.runSteps(nil, timesteps, true, &opts)
+	out, err := s.Execute(nil, RunSpec{Timesteps: timesteps, Trace: true, Counters: true, Machine: opts.Machine, SamplePeriod: opts.SamplePeriod})
+	return out.Report, out.Trace, out.Counters, err
 }
 
 // RunStepsTraceCountedContext is RunStepsTraceCounted bounded by ctx (see
 // RunContext).
+//
+// Deprecated: use Execute with RunSpec{Trace: true, Counters: true, ...}.
 func (s *Solver) RunStepsTraceCountedContext(ctx context.Context, timesteps int, opts CounterOptions) (Report, *Trace, *PerfCounters, error) {
-	return s.runSteps(ctx, timesteps, true, &opts)
+	out, err := s.Execute(ctx, RunSpec{Timesteps: timesteps, Trace: true, Counters: true, Machine: opts.Machine, SamplePeriod: opts.SamplePeriod})
+	return out.Report, out.Trace, out.Counters, err
 }
 
 // RunStepsTraced is RunSteps plus a rendered execution timeline (a text
 // Gantt chart of tile executions per worker, width columns wide) and
 // per-worker utilization — the observability view of how a scheme
 // schedules.
+//
+// Deprecated: use Execute with RunSpec{TimelineWidth: width}.
 func (s *Solver) RunStepsTraced(timesteps, width int) (Report, string, error) {
-	return s.runStepsTimeline(nil, timesteps, width)
+	out, err := s.Execute(nil, RunSpec{Timesteps: timesteps, Trace: true, TimelineWidth: width})
+	return out.Report, out.Timeline, err
 }
 
 // RunStepsTracedContext is RunStepsTraced bounded by ctx (see RunContext).
+//
+// Deprecated: use Execute with RunSpec{TimelineWidth: width}.
 func (s *Solver) RunStepsTracedContext(ctx context.Context, timesteps, width int) (Report, string, error) {
-	return s.runStepsTimeline(ctx, timesteps, width)
-}
-
-func (s *Solver) runStepsTimeline(ctx context.Context, timesteps, width int) (Report, string, error) {
-	rep, tr, _, err := s.runSteps(ctx, timesteps, true, nil)
-	if err != nil || tr == nil {
-		return rep, "", err
-	}
-	return rep, tr.Timeline(width), nil
+	out, err := s.Execute(ctx, RunSpec{Timesteps: timesteps, Trace: true, TimelineWidth: width})
+	return out.Report, out.Timeline, err
 }
 
 // RunStepsTrace is RunSteps plus the recorded execution trace itself, for
 // machine-readable export: Trace.WriteChromeTrace emits Chrome trace-event
 // JSON (Perfetto, chrome://tracing), Trace.Summary the per-worker busy/idle
 // digest, Trace.Timeline the text Gantt chart.
+//
+// Deprecated: use Execute with RunSpec{Trace: true}.
 func (s *Solver) RunStepsTrace(timesteps int) (Report, *Trace, error) {
-	rep, tr, _, err := s.runSteps(nil, timesteps, true, nil)
-	return rep, tr, err
+	out, err := s.Execute(nil, RunSpec{Timesteps: timesteps, Trace: true})
+	return out.Report, out.Trace, err
 }
 
 // RunStepsTraceContext is RunStepsTrace bounded by ctx (see RunContext).
+//
+// Deprecated: use Execute with RunSpec{Trace: true}.
 func (s *Solver) RunStepsTraceContext(ctx context.Context, timesteps int) (Report, *Trace, error) {
-	rep, tr, _, err := s.runSteps(ctx, timesteps, true, nil)
-	return rep, tr, err
+	out, err := s.Execute(ctx, RunSpec{Timesteps: timesteps, Trace: true})
+	return out.Report, out.Trace, err
 }
 
 // runSteps executes one plan. A nil ctx means no cancellation (and costs

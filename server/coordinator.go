@@ -1,0 +1,320 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nustencil"
+)
+
+// Config configures the server: executor pool size, queue quotas,
+// deadline policy, and admission limits.
+type Config struct {
+	// Executors is the number of jobs that run concurrently (default 2).
+	// The engine already parallelizes one job across its workers, so a
+	// small executor pool keeps the machine busy without oversubscribing
+	// it; admission control, not executor count, absorbs bursts.
+	Executors int
+	// QueueDepth bounds the total queued (not yet running) jobs; a full
+	// queue rejects submissions with ErrQueueFull (default 256).
+	QueueDepth int
+	// TenantQueueDepth bounds each tenant's queued jobs, so one tenant's
+	// burst cannot occupy the whole queue (default QueueDepth).
+	TenantQueueDepth int
+	// DefaultDeadline is the per-job total-latency budget (queueing
+	// included) when the spec does not name one (default 1 minute).
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps spec-requested deadlines (default 10 minutes).
+	MaxDeadline time.Duration
+	// Limits are the admission-time resource bounds (default: 64 Mi
+	// cells, 100k timesteps).
+	Limits Limits
+
+	// runJob overrides the job body (tests); nil means RunLocal.
+	runJob func(ctx context.Context, spec JobSpec) (*nustencil.RunOutput, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Executors <= 0 {
+		c.Executors = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.TenantQueueDepth <= 0 {
+		c.TenantQueueDepth = c.QueueDepth
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = time.Minute
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 10 * time.Minute
+	}
+	if c.Limits.MaxCells == 0 {
+		c.Limits.MaxCells = 64 << 20
+	}
+	if c.Limits.MaxTimesteps == 0 {
+		c.Limits.MaxTimesteps = 100_000
+	}
+	if c.runJob == nil {
+		c.runJob = RunLocal
+	}
+	return c
+}
+
+// Quota-rejection errors (HTTP 429).
+var (
+	// ErrQueueFull rejects a submission when the global queue is at
+	// Config.QueueDepth.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrTenantQuota rejects a submission when the tenant's queue is at
+	// Config.TenantQueueDepth.
+	ErrTenantQuota = errors.New("server: tenant queue quota exceeded")
+	// ErrShuttingDown rejects submissions after Stop.
+	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrUnknownJob is returned by Job lookups for IDs never admitted.
+	ErrUnknownJob = errors.New("server: unknown job id")
+)
+
+// tenantQueue is one tenant's admission state: its FIFO backlog and how
+// many of its jobs are currently running.
+type tenantQueue struct {
+	name    string
+	backlog []*Job
+	running int
+}
+
+// Coordinator admits, queues and executes jobs. Dispatch is round-robin
+// across tenants with backlog: under Zipf-skewed load the heavy tenant
+// waits behind its own backlog while light tenants keep near-idle
+// latency — per-tenant fairness comes from the dispatch order, not from
+// throttling the heavy tenant's throughput when the machine is
+// otherwise free.
+type Coordinator struct {
+	cfg     Config
+	metrics *Metrics
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenantQueue
+	order   []string // round-robin tenant order (first-submission order)
+	rr      int      // next tenant index to inspect
+	jobs    map[string]*Job
+	nextID  uint64
+	queued  int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewCoordinator starts cfg.Executors executor goroutines; Stop shuts
+// them down.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		metrics: NewMetrics(),
+		tenants: make(map[string]*tenantQueue),
+		jobs:    make(map[string]*Job),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.wg.Add(cfg.Executors)
+	for i := 0; i < cfg.Executors; i++ {
+		go c.executor()
+	}
+	return c
+}
+
+// Metrics returns the coordinator's metrics registry.
+func (c *Coordinator) Metrics() *Metrics { return c.metrics }
+
+// Submit validates and admits one job, returning a snapshot of the
+// queued job. Validation failures wrap ErrInvalidJob; quota refusals
+// wrap ErrQueueFull or ErrTenantQuota.
+func (c *Coordinator) Submit(spec JobSpec) (Job, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(c.cfg.Limits); err != nil {
+		c.metrics.Rejected(spec.Tenant)
+		return Job{}, err
+	}
+	deadline := c.cfg.DefaultDeadline
+	if spec.DeadlineMS > 0 {
+		deadline = time.Duration(spec.DeadlineMS) * time.Millisecond
+	}
+	if deadline > c.cfg.MaxDeadline {
+		deadline = c.cfg.MaxDeadline
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Job{}, ErrShuttingDown
+	}
+	if c.queued >= c.cfg.QueueDepth {
+		c.metrics.Rejected(spec.Tenant)
+		return Job{}, fmt.Errorf("%w (%d queued)", ErrQueueFull, c.queued)
+	}
+	tq := c.tenants[spec.Tenant]
+	if tq == nil {
+		tq = &tenantQueue{name: spec.Tenant}
+		c.tenants[spec.Tenant] = tq
+		c.order = append(c.order, spec.Tenant)
+	}
+	if len(tq.backlog) >= c.cfg.TenantQueueDepth {
+		c.metrics.Rejected(spec.Tenant)
+		return Job{}, fmt.Errorf("%w: tenant %q has %d jobs queued", ErrTenantQuota, spec.Tenant, len(tq.backlog))
+	}
+	c.nextID++
+	now := time.Now()
+	j := &Job{
+		ID:        fmt.Sprintf("job-%08d", c.nextID),
+		Tenant:    spec.Tenant,
+		Spec:      spec,
+		State:     Queued,
+		Submitted: now,
+		Deadline:  now.Add(deadline),
+	}
+	c.jobs[j.ID] = j
+	tq.backlog = append(tq.backlog, j)
+	c.queued++
+	c.metrics.Submitted(spec.Tenant)
+	c.metrics.SetQueueDepth(int64(c.queued))
+	c.cond.Signal()
+	return *j, nil
+}
+
+// Job returns a snapshot of the job with the given ID.
+func (c *Coordinator) Job(id string) (Job, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return *j, nil
+}
+
+// Jobs returns a snapshot of every tracked job, submission-ordered.
+func (c *Coordinator) Jobs() []Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Job, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// pick dequeues the next job round-robin across tenants with backlog.
+// Caller holds c.mu.
+func (c *Coordinator) pick() *Job {
+	n := len(c.order)
+	for i := 0; i < n; i++ {
+		tq := c.tenants[c.order[(c.rr+i)%n]]
+		if len(tq.backlog) == 0 {
+			continue
+		}
+		c.rr = (c.rr + i + 1) % n
+		j := tq.backlog[0]
+		copy(tq.backlog, tq.backlog[1:])
+		tq.backlog = tq.backlog[:len(tq.backlog)-1]
+		tq.running++
+		c.queued--
+		c.metrics.SetQueueDepth(int64(c.queued))
+		return j
+	}
+	return nil
+}
+
+// executor is one worker of the bounded pool: dequeue, run, record.
+func (c *Coordinator) executor() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		var j *Job
+		for {
+			if c.closed {
+				c.mu.Unlock()
+				return
+			}
+			if j = c.pick(); j != nil {
+				break
+			}
+			c.cond.Wait()
+		}
+		j.State = Running
+		j.Started = time.Now()
+		c.metrics.AddRunning(1)
+		c.mu.Unlock()
+
+		c.run(j)
+	}
+}
+
+// run executes one dequeued job under its deadline and records the
+// outcome. The deadline is measured from submission, so a job that
+// spent its whole budget queued fails immediately — expiry must not be
+// deferrable by a long backlog.
+func (c *Coordinator) run(j *Job) {
+	var out *nustencil.RunOutput
+	var err error
+	if remaining := time.Until(j.Deadline); remaining <= 0 {
+		err = fmt.Errorf("deadline expired after %v in queue: %w", j.Started.Sub(j.Submitted).Round(time.Millisecond), context.DeadlineExceeded)
+	} else {
+		ctx, cancel := context.WithDeadline(context.Background(), j.Deadline)
+		out, err = c.cfg.runJob(ctx, j.Spec)
+		cancel()
+	}
+
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j.Finished = now
+	j.Output = out
+	tq := c.tenants[j.Tenant]
+	tq.running--
+	c.metrics.AddRunning(-1)
+	total := now.Sub(j.Submitted)
+	queueWait := j.Started.Sub(j.Submitted)
+	if err != nil {
+		j.State = Failed
+		j.Err = err.Error()
+		j.Expired = errors.Is(err, context.DeadlineExceeded)
+		c.metrics.Failed(j.Tenant, j.Expired, total, queueWait)
+		return
+	}
+	j.State = Done
+	c.metrics.Completed(j.Tenant, total, queueWait)
+	if out != nil && out.Counters != nil {
+		c.metrics.AddSim(out.Counters)
+	}
+}
+
+// Stop shuts the pool down: no new submissions, running jobs finish,
+// still-queued jobs fail with ErrShuttingDown.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	now := time.Now()
+	for _, tq := range c.tenants {
+		for _, j := range tq.backlog {
+			j.State = Failed
+			j.Err = ErrShuttingDown.Error()
+			j.Finished = now
+		}
+		tq.backlog = nil
+	}
+	c.queued = 0
+	c.metrics.SetQueueDepth(0)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+}

@@ -1,0 +1,217 @@
+// Package server implements stencil-as-a-service: a long-running
+// multi-tenant job server over the consolidated nustencil Run API.
+//
+// Clients POST JSON job specs (a problem Config plus a RunSpec — the
+// library's own wire types), a coordinator admits and queues them per
+// tenant with quotas and deadlines, and a bounded executor pool runs
+// each job on its own Solver via Execute. Results are retrievable by
+// job ID; server counters and the simulated performance counters of
+// counted jobs are live Prometheus scrape targets.
+//
+// Isolation is per job by construction: every job gets a fresh Solver,
+// so a job that fails mid-plan (deadline expiry, a panicking kernel)
+// poisons only its own solver (nustencil.ErrPoisoned) and never another
+// tenant's state.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"nustencil"
+)
+
+// Init names for JobSpec.Init.
+const (
+	// InitSin fills the grid with a reproducible spatially varying pattern
+	// (the same one cmd/stencil-run uses). The default.
+	InitSin = "sin"
+	// InitZero leaves the grid all zeros.
+	InitZero = "zero"
+	// InitPoint sets a unit impulse at the grid centre.
+	InitPoint = "point"
+)
+
+// JobSpec is the wire form of one job: what to solve (Problem), how to
+// run and observe it (Run), which tenant it bills to, and its deadline.
+// It marshals deterministically — struct fields in declaration order,
+// Problem.SchemeParams with sorted keys — so an encoded spec replays
+// byte for byte (stencil-replay -job).
+type JobSpec struct {
+	// Tenant is the submitting tenant (empty maps to "default"); quotas
+	// and fairness are accounted per tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Problem configures the solver (grid, stencil, scheme, workers).
+	Problem nustencil.Config `json:"problem"`
+	// Run selects timesteps and observability. A zero Run.Timesteps
+	// defaults to Problem.Timesteps at admission.
+	Run nustencil.RunSpec `json:"run"`
+	// Init names the initial condition: "sin" (default), "zero", "point".
+	Init string `json:"init,omitempty"`
+	// DeadlineMS bounds the job's total latency (queueing included) in
+	// milliseconds from submission. Zero uses the server default; the
+	// server clamps to its maximum.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// withDefaults resolves the spec's defaulted fields.
+func (spec JobSpec) withDefaults() JobSpec {
+	if spec.Tenant == "" {
+		spec.Tenant = "default"
+	}
+	if spec.Init == "" {
+		spec.Init = InitSin
+	}
+	if spec.Run.Timesteps == 0 {
+		spec.Run.Timesteps = spec.Problem.Timesteps
+	}
+	return spec
+}
+
+// ErrInvalidJob wraps admission-time validation failures (HTTP 400).
+var ErrInvalidJob = errors.New("server: invalid job spec")
+
+// validate enforces the admission limits a server cannot defer to the
+// solver: obviously malformed problems are rejected with 400 at submit
+// time instead of becoming failed jobs. Deeper validation (scheme
+// parameter names, periodic-scheme compatibility) stays in NewSolver
+// and surfaces as a failed job.
+func (spec JobSpec) validate(limits Limits) error {
+	if len(spec.Problem.Dims) == 0 {
+		return fmt.Errorf("%w: problem.dims is required", ErrInvalidJob)
+	}
+	cells := int64(1)
+	for _, d := range spec.Problem.Dims {
+		if d < 3 {
+			return fmt.Errorf("%w: dimension %d too small", ErrInvalidJob, d)
+		}
+		if cells > math.MaxInt64/int64(d) {
+			return fmt.Errorf("%w: grid cell count overflows", ErrInvalidJob)
+		}
+		cells *= int64(d)
+	}
+	if limits.MaxCells > 0 && cells > limits.MaxCells {
+		return fmt.Errorf("%w: %d cells exceeds the %d-cell limit", ErrInvalidJob, cells, limits.MaxCells)
+	}
+	if spec.Run.Timesteps < 0 {
+		return fmt.Errorf("%w: negative timesteps", ErrInvalidJob)
+	}
+	if limits.MaxTimesteps > 0 && spec.Run.Timesteps > limits.MaxTimesteps {
+		return fmt.Errorf("%w: %d timesteps exceeds the %d-step limit", ErrInvalidJob, spec.Run.Timesteps, limits.MaxTimesteps)
+	}
+	switch spec.Init {
+	case InitSin, InitZero, InitPoint:
+	default:
+		return fmt.Errorf("%w: unknown init %q (want sin, zero or point)", ErrInvalidJob, spec.Init)
+	}
+	return nil
+}
+
+// Limits are the admission-time resource bounds.
+type Limits struct {
+	// MaxCells bounds the grid size (cells per buffer; 0 = unlimited).
+	MaxCells int64
+	// MaxTimesteps bounds the per-job timestep count (0 = unlimited).
+	MaxTimesteps int
+}
+
+// RunLocal executes one job spec in-process: build a fresh solver,
+// apply the named initial condition (and, for banded problems, the
+// default diagonally dominant coefficients), and Execute the run spec
+// under ctx. It is the server executor's job body and the replay path
+// of stencil-replay -job — a captured spec re-executes identically.
+//
+// On a failed execution whose solver ended up poisoned, the returned
+// error wraps both the execution error and nustencil.ErrPoisoned, so
+// callers can test the poison state with errors.Is. The solver itself
+// is job-local and dropped — poison never outlives the job.
+func RunLocal(ctx context.Context, spec JobSpec) (*nustencil.RunOutput, error) {
+	spec = spec.withDefaults()
+	sol, err := nustencil.NewSolver(spec.Problem)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Init {
+	case InitZero:
+		// The fresh grid is already zeroed.
+	case InitPoint:
+		centre := make([]int, len(spec.Problem.Dims))
+		for k, d := range spec.Problem.Dims {
+			centre[k] = d / 2
+		}
+		sol.SetInitial(func(pt []int) float64 {
+			for k := range pt {
+				if pt[k] != centre[k] {
+					return 0
+				}
+			}
+			return 1
+		})
+	default: // InitSin
+		sol.SetInitial(func(pt []int) float64 {
+			v := 0.0
+			for k, c := range pt {
+				v += math.Sin(float64(c)*0.17 + float64(k))
+			}
+			return v
+		})
+	}
+	if spec.Problem.Banded {
+		np := sol.NumPoints()
+		if err := sol.SetCoefficients(func(point int, pt []int) float64 {
+			if point == 0 {
+				return 0.5
+			}
+			return 0.5 / float64(np-1)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	out, err := sol.Execute(ctx, spec.Run)
+	if err != nil {
+		if perr := sol.Err(); perr != nil {
+			return out, fmt.Errorf("%w (%w)", err, perr)
+		}
+		return out, err
+	}
+	return out, nil
+}
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+// The job lifecycle: Queued → Running → Done | Failed. Failed covers
+// execution errors, invalid configurations caught at solver
+// construction, and deadline expiry (in queue or mid-run).
+const (
+	Queued  JobState = "queued"
+	Running JobState = "running"
+	Done    JobState = "done"
+	Failed  JobState = "failed"
+)
+
+// Job is one admitted job and, once finished, its result. The
+// coordinator owns all mutable fields; read them through snapshots.
+type Job struct {
+	ID       string
+	Tenant   string
+	Spec     JobSpec
+	State    JobState
+	Deadline time.Time
+
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+
+	// Output is the run's result (Done jobs; Failed jobs may carry the
+	// identity-field report).
+	Output *nustencil.RunOutput
+	// Err is the failure message (Failed jobs).
+	Err string
+	// Expired marks a Failed job whose deadline passed (in queue or
+	// mid-run).
+	Expired bool
+}

@@ -1,0 +1,397 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nustencil"
+)
+
+// LoadOptions configures a load-generator run against a stencil-serve
+// daemon. The generator assigns each job's tenant by a Zipf draw over
+// Tenants names — tenant-0 dominates, the tail barely appears — which
+// is the skew a fairness-enforcing coordinator has to survive.
+type LoadOptions struct {
+	// BaseURL is the daemon's base URL, e.g. "http://localhost:8080".
+	BaseURL string
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Jobs is the total number of jobs to drive to completion
+	// (default 100).
+	Jobs int
+	// Concurrency is the closed-loop worker count: each worker submits a
+	// job, polls it to completion, then takes the next (default 4).
+	Concurrency int
+	// OpenLoopRate, when positive, switches to open-loop arrivals at
+	// this many submissions per second regardless of completions — the
+	// harsher discipline, since arrival pressure does not back off when
+	// the server slows (Concurrency then only bounds in-flight pollers).
+	OpenLoopRate float64
+	// Tenants is the number of distinct tenants (default 8), named
+	// "tenant-0" … "tenant-N-1".
+	Tenants int
+	// ZipfS is the Zipf skew exponent s > 1 (default 1.5); higher is
+	// more skewed toward tenant-0.
+	ZipfS float64
+	// Seed seeds the tenant draw, making a run reproducible (default 1).
+	Seed int64
+	// Template is the job spec each submission sends (Tenant overridden
+	// per draw). A zero Template gets a small default problem.
+	Template JobSpec
+	// PollPeriod is the result-polling interval (default 5 ms).
+	PollPeriod time.Duration
+	// RetryBackoff is the wait after a 429 quota refusal before
+	// resubmitting (default PollPeriod). Quota refusals are retried
+	// until the job is admitted: admission control is backpressure, not
+	// job loss, so a finished run has zero dropped jobs by construction
+	// unless the server stays saturated past JobTimeout.
+	RetryBackoff time.Duration
+	// JobTimeout bounds one job's submit-to-result wall time, retries
+	// included (default 2 minutes); a job that exceeds it counts as
+	// failed.
+	JobTimeout time.Duration
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 100
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.Tenants <= 0 {
+		o.Tenants = 8
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Template.Problem.Dims) == 0 {
+		// A small default problem: big enough to exercise the scheduler,
+		// small enough that a burst of thousands completes in seconds.
+		o.Template = JobSpec{
+			Problem: nustencil.Config{
+				Dims:      []int{34, 34, 34},
+				Timesteps: 4,
+				Scheme:    nustencil.NuCORALS,
+				Workers:   2,
+				NUMANodes: 2,
+			},
+			Run: nustencil.RunSpec{Timesteps: 4},
+		}
+	}
+	if o.PollPeriod <= 0 {
+		o.PollPeriod = 5 * time.Millisecond
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = o.PollPeriod
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 2 * time.Minute
+	}
+	return o
+}
+
+// TenantLoad is one tenant's share of a load run.
+type TenantLoad struct {
+	Tenant string        `json:"tenant"`
+	Jobs   int           `json:"jobs"`
+	Done   int           `json:"done"`
+	Failed int           `json:"failed"`
+	Mean   time.Duration `json:"mean_latency_ns"`
+	P99    time.Duration `json:"p99_latency_ns"`
+}
+
+// LoadReport summarizes a load run: throughput, the latency
+// distribution of submit→result round trips, and per-tenant fairness.
+type LoadReport struct {
+	Jobs       int           `json:"jobs"`
+	Done       int           `json:"done"`
+	Failed     int           `json:"failed"`
+	Retries    int           `json:"retries_429"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Throughput float64       `json:"jobs_per_second"`
+	P50        time.Duration `json:"p50_ns"`
+	P90        time.Duration `json:"p90_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	Max        time.Duration `json:"max_ns"`
+	// Fairness is max over min of per-tenant mean latency among tenants
+	// that completed at least one job (1.0 = perfectly fair; meaningful
+	// under skew: a coordinator that lets the heavy tenant starve the
+	// tail shows a large ratio).
+	Fairness float64      `json:"fairness_max_over_min_mean"`
+	Tenants  []TenantLoad `json:"tenants"`
+}
+
+func (r *LoadReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load       %d jobs, %d done, %d failed, %d quota retries\n", r.Jobs, r.Done, r.Failed, r.Retries)
+	fmt.Fprintf(&b, "elapsed    %v (%.1f jobs/s)\n", r.Elapsed.Round(time.Millisecond), r.Throughput)
+	fmt.Fprintf(&b, "latency    p50 %v  p90 %v  p99 %v  max %v\n",
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	fmt.Fprintf(&b, "fairness   %.2f (max/min per-tenant mean latency)\n", r.Fairness)
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, "  %-12s %4d jobs  %4d done  %3d failed  mean %-10v p99 %v\n",
+			t.Tenant, t.Jobs, t.Done, t.Failed,
+			t.Mean.Round(time.Microsecond), t.P99.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// jobResult is one driven job's outcome.
+type jobResult struct {
+	tenant  string
+	latency time.Duration
+	done    bool
+	retries int
+}
+
+// Load drives opts.Jobs jobs against the daemon and reports latency,
+// throughput and per-tenant fairness. Closed loop by default; set
+// OpenLoopRate for open-loop arrivals. Cancel ctx to stop early (jobs
+// not yet finished count as failed).
+func Load(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
+	opts = opts.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Pre-draw every job's tenant so the workload is a pure function of
+	// (Seed, ZipfS, Tenants, Jobs), independent of scheduling races.
+	zipf := rand.NewZipf(rand.New(rand.NewSource(opts.Seed)), opts.ZipfS, 1, uint64(opts.Tenants-1))
+	if zipf == nil {
+		return nil, fmt.Errorf("server: invalid Zipf parameters (s=%g, tenants=%d)", opts.ZipfS, opts.Tenants)
+	}
+	tenants := make([]string, opts.Jobs)
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("tenant-%d", zipf.Uint64())
+	}
+
+	results := make([]jobResult, opts.Jobs)
+	start := time.Now()
+	if opts.OpenLoopRate > 0 {
+		period := time.Duration(float64(time.Second) / opts.OpenLoopRate)
+		var wg sync.WaitGroup
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+	arrivals:
+		for i := 0; i < opts.Jobs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = driveJob(ctx, opts, tenants[i])
+			}(i)
+			if i == opts.Jobs-1 {
+				break
+			}
+			select {
+			case <-tick.C:
+			case <-ctx.Done():
+				break arrivals
+			}
+		}
+		wg.Wait()
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(opts.Concurrency)
+		for w := 0; w < opts.Concurrency; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i] = driveJob(ctx, opts, tenants[i])
+				}
+			}()
+		}
+	feed:
+		for i := 0; i < opts.Jobs; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(next)
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{Jobs: opts.Jobs, Elapsed: elapsed}
+	if elapsed > 0 {
+		rep.Throughput = float64(opts.Jobs) / elapsed.Seconds()
+	}
+	var all []time.Duration
+	perTenant := make(map[string]*TenantLoad)
+	lats := make(map[string][]time.Duration)
+	for i, r := range results {
+		tenant := tenants[i]
+		t := perTenant[tenant]
+		if t == nil {
+			t = &TenantLoad{Tenant: tenant}
+			perTenant[tenant] = t
+		}
+		t.Jobs++
+		rep.Retries += r.retries
+		if !r.done {
+			rep.Failed++
+			t.Failed++
+			continue
+		}
+		rep.Done++
+		t.Done++
+		all = append(all, r.latency)
+		lats[tenant] = append(lats[tenant], r.latency)
+	}
+	sort.Slice(all, func(i, k int) bool { return all[i] < all[k] })
+	rep.P50 = quantileOf(all, 0.50)
+	rep.P90 = quantileOf(all, 0.90)
+	rep.P99 = quantileOf(all, 0.99)
+	if n := len(all); n > 0 {
+		rep.Max = all[n-1]
+	}
+	minMean, maxMean := time.Duration(0), time.Duration(0)
+	for tenant, ds := range lats {
+		sort.Slice(ds, func(i, k int) bool { return ds[i] < ds[k] })
+		var sum time.Duration
+		for _, d := range ds {
+			sum += d
+		}
+		t := perTenant[tenant]
+		t.Mean = sum / time.Duration(len(ds))
+		t.P99 = quantileOf(ds, 0.99)
+		if minMean == 0 || t.Mean < minMean {
+			minMean = t.Mean
+		}
+		if t.Mean > maxMean {
+			maxMean = t.Mean
+		}
+	}
+	if minMean > 0 {
+		rep.Fairness = float64(maxMean) / float64(minMean)
+	}
+	for _, t := range perTenant {
+		rep.Tenants = append(rep.Tenants, *t)
+	}
+	sort.Slice(rep.Tenants, func(i, k int) bool { return rep.Tenants[i].Jobs > rep.Tenants[k].Jobs })
+	return rep, nil
+}
+
+// driveJob submits one job (retrying quota refusals) and polls it to a
+// terminal state. The measured latency is the client-observed round
+// trip: first submission attempt to observed completion.
+func driveJob(ctx context.Context, opts LoadOptions, tenant string) jobResult {
+	res := jobResult{tenant: tenant}
+	spec := opts.Template
+	spec.Tenant = tenant
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return res
+	}
+	start := time.Now()
+	deadline := start.Add(opts.JobTimeout)
+
+	var id string
+	for {
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return res
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.BaseURL+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return res
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := opts.Client.Do(req)
+		if err != nil {
+			return res
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			res.retries++
+			if !sleepCtx(ctx, opts.RetryBackoff) {
+				return res
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return res
+		}
+		var ack submitResponse
+		err = json.NewDecoder(resp.Body).Decode(&ack)
+		resp.Body.Close()
+		if err != nil {
+			return res
+		}
+		id = ack.ID
+		break
+	}
+
+	for {
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return res
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, opts.BaseURL+"/jobs/"+id, nil)
+		if err != nil {
+			return res
+		}
+		resp, err := opts.Client.Do(req)
+		if err != nil {
+			return res
+		}
+		var doc jobDoc
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			return res
+		}
+		switch doc.State {
+		case Done:
+			res.done = true
+			res.latency = time.Since(start)
+			return res
+		case Failed:
+			res.latency = time.Since(start)
+			return res
+		}
+		if !sleepCtx(ctx, opts.PollPeriod) {
+			return res
+		}
+	}
+}
+
+// sleepCtx sleeps d or until ctx is done; false means ctx ended.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// quantileOf reads the q-quantile from an ascending-sorted slice.
+func quantileOf(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(ds)-1))
+	return ds[i]
+}

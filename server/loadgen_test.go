@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nustencil"
+)
+
+// TestZipfLoad1000 is the acceptance run: a Zipf-skewed 1000-job
+// stream against a live server with zero dropped jobs — every
+// submission either completes or is retried through quota backpressure
+// until it does. Under -short the stream shrinks but the invariants do
+// not.
+func TestZipfLoad1000(t *testing.T) {
+	jobs := 1000
+	if testing.Short() {
+		jobs = 150
+	}
+
+	// Tight tenant quotas force real 429 backpressure under the skew,
+	// proving retries are backpressure, not loss.
+	srv := New(Config{
+		Executors:        4,
+		QueueDepth:       64,
+		TenantQueueDepth: 16,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := Load(context.Background(), LoadOptions{
+		BaseURL:     ts.URL,
+		Jobs:        jobs,
+		Concurrency: 8,
+		Tenants:     4,
+		ZipfS:       1.5,
+		Seed:        42,
+		Template: JobSpec{
+			Problem: nustencil.Config{
+				Dims:    []int{18, 18, 18},
+				Scheme:  nustencil.Naive,
+				Workers: 2,
+			},
+			Run: nustencil.RunSpec{Timesteps: 2},
+		},
+		PollPeriod: time.Millisecond,
+		JobTimeout: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Done != jobs || rep.Failed != 0 {
+		t.Fatalf("dropped jobs: %d done, %d failed of %d\n%s", rep.Done, rep.Failed, jobs, rep)
+	}
+	if rep.Fairness <= 0 {
+		t.Errorf("fairness not computed: %+v", rep)
+	}
+	if rep.P99 <= 0 || rep.Throughput <= 0 {
+		t.Errorf("degenerate latency/throughput: %s", rep)
+	}
+
+	// The Zipf draw actually skewed: tenant-0 must dominate.
+	var t0, rest int
+	for _, tl := range rep.Tenants {
+		if tl.Tenant == "tenant-0" {
+			t0 = tl.Jobs
+		} else {
+			rest += tl.Jobs
+		}
+	}
+	if t0 <= rest/3 {
+		t.Errorf("Zipf skew missing: tenant-0 got %d of %d jobs", t0, jobs)
+	}
+
+	// Server-side accounting agrees: everything submitted completed.
+	s := srv.Coordinator().Metrics().Snapshot()
+	if s.Completed != int64(jobs) || s.Failed != 0 {
+		t.Errorf("server metrics: completed %d failed %d, want %d and 0", s.Completed, s.Failed, jobs)
+	}
+}
+
+// TestOpenLoopLoad exercises the open-loop discipline: timed arrivals
+// decoupled from completions.
+func TestOpenLoopLoad(t *testing.T) {
+	srv := New(Config{Executors: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := Load(context.Background(), LoadOptions{
+		BaseURL:      ts.URL,
+		Jobs:         40,
+		OpenLoopRate: 400,
+		Tenants:      3,
+		ZipfS:        1.2,
+		Template: JobSpec{
+			Problem: nustencil.Config{
+				Dims:    []int{14, 14, 14},
+				Scheme:  nustencil.Naive,
+				Workers: 1,
+			},
+			Run: nustencil.RunSpec{Timesteps: 1},
+		},
+		PollPeriod: time.Millisecond,
+		JobTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != 40 || rep.Failed != 0 {
+		t.Fatalf("open-loop run dropped jobs: %s", rep)
+	}
+}
+
+// TestLoadReproducible: the same seed draws the same per-tenant job
+// assignment (the latencies differ; the workload must not).
+func TestLoadReproducible(t *testing.T) {
+	counts := func(seed int64) map[string]int {
+		srv := New(Config{Executors: 2})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		rep, err := Load(context.Background(), LoadOptions{
+			BaseURL: ts.URL,
+			Jobs:    60,
+			Tenants: 5,
+			ZipfS:   1.5,
+			Seed:    seed,
+			Template: JobSpec{
+				Problem: nustencil.Config{Dims: []int{12, 12}, Scheme: nustencil.Naive, Workers: 1},
+				Run:     nustencil.RunSpec{Timesteps: 1},
+			},
+			PollPeriod: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := make(map[string]int)
+		for _, tl := range rep.Tenants {
+			m[tl.Tenant] = tl.Jobs
+		}
+		return m
+	}
+	a, b := counts(7), counts(7)
+	for tenant, n := range a {
+		if b[tenant] != n {
+			t.Fatalf("same seed drew different workloads: %v vs %v", a, b)
+		}
+	}
+}

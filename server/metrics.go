@@ -1,0 +1,285 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"nustencil"
+	"nustencil/internal/perfcount"
+)
+
+// Metrics is the server's counter registry: job lifecycle totals,
+// per-tenant accounting, latency histograms, and the aggregated
+// simulated performance counters of every counted job — the live
+// /metrics equivalent of stencil-run's -prom output. Server-side
+// operations are not hot paths (one update per job transition), so a
+// single mutex guards the registry.
+type Metrics struct {
+	mu sync.Mutex
+
+	start      time.Time
+	submitted  int64
+	rejected   int64
+	completed  int64
+	failed     int64
+	expired    int64
+	queueDepth int64
+	running    int64
+
+	latency   perfcount.Hist // submission → finish, completed + failed
+	queueWait perfcount.Hist // submission → execution start
+
+	tenants map[string]*tenantMetrics
+
+	// Aggregated simulated counters over counted jobs.
+	simUpdates     int64
+	simFlops       int64
+	simLLCBytes    int64
+	simLocalBytes  int64
+	simRemoteBytes int64
+}
+
+// tenantMetrics is one tenant's share.
+type tenantMetrics struct {
+	submitted int64
+	rejected  int64
+	completed int64
+	failed    int64
+	latency   perfcount.Hist
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), tenants: make(map[string]*tenantMetrics)}
+}
+
+func (m *Metrics) tenant(name string) *tenantMetrics {
+	t := m.tenants[name]
+	if t == nil {
+		t = &tenantMetrics{}
+		m.tenants[name] = t
+	}
+	return t
+}
+
+// Submitted records one admitted job.
+func (m *Metrics) Submitted(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitted++
+	m.tenant(tenant).submitted++
+}
+
+// Rejected records one refused submission (quota or validation).
+func (m *Metrics) Rejected(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected++
+	m.tenant(tenant).rejected++
+}
+
+// Completed records one successful job with its total latency and
+// queue wait.
+func (m *Metrics) Completed(tenant string, latency, queueWait time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed++
+	m.latency.Observe(latency)
+	m.queueWait.Observe(queueWait)
+	t := m.tenant(tenant)
+	t.completed++
+	t.latency.Observe(latency)
+}
+
+// Failed records one failed job; expired marks deadline expiry.
+func (m *Metrics) Failed(tenant string, expired bool, latency, queueWait time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failed++
+	if expired {
+		m.expired++
+	}
+	m.latency.Observe(latency)
+	m.queueWait.Observe(queueWait)
+	t := m.tenant(tenant)
+	t.failed++
+	t.latency.Observe(latency)
+}
+
+// SetQueueDepth updates the queued-jobs gauge.
+func (m *Metrics) SetQueueDepth(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueDepth = n
+}
+
+// AddRunning adjusts the running-jobs gauge.
+func (m *Metrics) AddRunning(d int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running += d
+}
+
+// AddSim folds one counted job's simulated performance counters into
+// the server totals.
+func (m *Metrics) AddSim(pc *nustencil.PerfCounters) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.simUpdates += pc.Updates()
+	m.simFlops += pc.Flops()
+	m.simLLCBytes += pc.LLCBytes()
+	m.simLocalBytes += pc.LocalBytes()
+	m.simRemoteBytes += pc.RemoteBytes()
+}
+
+// Snapshot is a consistent copy of the registry for rendering.
+type Snapshot struct {
+	UptimeSeconds float64
+	Submitted     int64
+	Rejected      int64
+	Completed     int64
+	Failed        int64
+	Expired       int64
+	QueueDepth    int64
+	Running       int64
+
+	Latency   perfcount.Hist
+	QueueWait perfcount.Hist
+
+	Tenants map[string]TenantSnapshot
+
+	SimUpdates     int64
+	SimFlops       int64
+	SimLLCBytes    int64
+	SimLocalBytes  int64
+	SimRemoteBytes int64
+}
+
+// TenantSnapshot is one tenant's share of a Snapshot.
+type TenantSnapshot struct {
+	Submitted int64
+	Rejected  int64
+	Completed int64
+	Failed    int64
+	Latency   perfcount.Hist
+}
+
+// Snapshot copies the registry under the lock.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		UptimeSeconds:  time.Since(m.start).Seconds(),
+		Submitted:      m.submitted,
+		Rejected:       m.rejected,
+		Completed:      m.completed,
+		Failed:         m.failed,
+		Expired:        m.expired,
+		QueueDepth:     m.queueDepth,
+		Running:        m.running,
+		Latency:        m.latency,
+		QueueWait:      m.queueWait,
+		Tenants:        make(map[string]TenantSnapshot, len(m.tenants)),
+		SimUpdates:     m.simUpdates,
+		SimFlops:       m.simFlops,
+		SimLLCBytes:    m.simLLCBytes,
+		SimLocalBytes:  m.simLocalBytes,
+		SimRemoteBytes: m.simRemoteBytes,
+	}
+	for name, t := range m.tenants {
+		s.Tenants[name] = TenantSnapshot{
+			Submitted: t.submitted,
+			Rejected:  t.rejected,
+			Completed: t.completed,
+			Failed:    t.failed,
+			Latency:   t.latency,
+		}
+	}
+	return s
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format. Tenant series are sorted by name, so the output is
+// deterministic for a fixed registry state.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP nustencil_server_uptime_seconds Seconds since the server started.\n")
+	p("# TYPE nustencil_server_uptime_seconds gauge\n")
+	p("nustencil_server_uptime_seconds %g\n", s.UptimeSeconds)
+	p("# HELP nustencil_server_jobs_total Jobs by lifecycle outcome.\n")
+	p("# TYPE nustencil_server_jobs_total counter\n")
+	p("nustencil_server_jobs_total{status=\"submitted\"} %d\n", s.Submitted)
+	p("nustencil_server_jobs_total{status=\"rejected\"} %d\n", s.Rejected)
+	p("nustencil_server_jobs_total{status=\"completed\"} %d\n", s.Completed)
+	p("nustencil_server_jobs_total{status=\"failed\"} %d\n", s.Failed)
+	p("nustencil_server_jobs_total{status=\"expired\"} %d\n", s.Expired)
+	p("# HELP nustencil_server_queue_depth Jobs queued, not yet running.\n")
+	p("# TYPE nustencil_server_queue_depth gauge\n")
+	p("nustencil_server_queue_depth %d\n", s.QueueDepth)
+	p("# HELP nustencil_server_running_jobs Jobs currently executing.\n")
+	p("# TYPE nustencil_server_running_jobs gauge\n")
+	p("nustencil_server_running_jobs %d\n", s.Running)
+
+	writeHistSummary(p, "nustencil_server_job_latency_seconds", "Job latency, submission to finish.", &s.Latency)
+	writeHistSummary(p, "nustencil_server_queue_wait_seconds", "Queue wait, submission to execution start.", &s.QueueWait)
+
+	names := make([]string, 0, len(s.Tenants))
+	for name := range s.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	p("# HELP nustencil_server_tenant_jobs_total Per-tenant jobs by outcome.\n")
+	p("# TYPE nustencil_server_tenant_jobs_total counter\n")
+	for _, name := range names {
+		t := s.Tenants[name]
+		p("nustencil_server_tenant_jobs_total{tenant=%q,status=\"submitted\"} %d\n", name, t.Submitted)
+		p("nustencil_server_tenant_jobs_total{tenant=%q,status=\"rejected\"} %d\n", name, t.Rejected)
+		p("nustencil_server_tenant_jobs_total{tenant=%q,status=\"completed\"} %d\n", name, t.Completed)
+		p("nustencil_server_tenant_jobs_total{tenant=%q,status=\"failed\"} %d\n", name, t.Failed)
+	}
+	p("# HELP nustencil_server_tenant_latency_seconds Per-tenant job latency quantiles.\n")
+	p("# TYPE nustencil_server_tenant_latency_seconds summary\n")
+	for _, name := range names {
+		t := s.Tenants[name]
+		for _, q := range []float64{0.5, 0.99} {
+			p("nustencil_server_tenant_latency_seconds{tenant=%q,quantile=\"%g\"} %g\n", name, q, t.Latency.Quantile(q).Seconds())
+		}
+	}
+
+	p("# HELP nustencil_sim_updates_total Simulated point updates over counted jobs.\n")
+	p("# TYPE nustencil_sim_updates_total counter\n")
+	p("nustencil_sim_updates_total %d\n", s.SimUpdates)
+	p("# HELP nustencil_sim_flops_total Simulated floating-point operations over counted jobs.\n")
+	p("# TYPE nustencil_sim_flops_total counter\n")
+	p("nustencil_sim_flops_total %d\n", s.SimFlops)
+	p("# HELP nustencil_sim_llc_bytes_total Simulated last-level-cache bytes over counted jobs.\n")
+	p("# TYPE nustencil_sim_llc_bytes_total counter\n")
+	p("nustencil_sim_llc_bytes_total %d\n", s.SimLLCBytes)
+	p("# HELP nustencil_sim_main_bytes_total Simulated main-memory bytes over counted jobs, by locality.\n")
+	p("# TYPE nustencil_sim_main_bytes_total counter\n")
+	p("nustencil_sim_main_bytes_total{locality=\"local\"} %d\n", s.SimLocalBytes)
+	p("nustencil_sim_main_bytes_total{locality=\"remote\"} %d\n", s.SimRemoteBytes)
+	return err
+}
+
+// writeHistSummary renders one histogram as a Prometheus summary
+// (quantiles at the log₂ resolution the Hist can promise, plus the
+// _sum/_count pair).
+func writeHistSummary(p func(string, ...any), name, help string, h *perfcount.Hist) {
+	p("# HELP %s %s\n", name, help)
+	p("# TYPE %s summary\n", name)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		p("%s{quantile=\"%g\"} %g\n", name, q, h.Quantile(q).Seconds())
+	}
+	p("%s_sum %g\n", name, h.Sum.Seconds())
+	p("%s_count %d\n", name, h.N)
+}

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"nustencil"
+)
+
+// Server is the HTTP front of the coordinator.
+//
+// Endpoints:
+//
+//	POST /jobs              submit a JobSpec; 202 + {"id": ...} on admission,
+//	                        400 on validation failure, 429 on quota refusal
+//	GET  /jobs              list job summaries
+//	GET  /jobs/{id}         one job's status and (when finished) result
+//	GET  /jobs/{id}/metrics a counted job's simulated performance counters
+//	                        and bottleneck attribution in Prometheus text
+//	GET  /metrics           server counters in Prometheus text
+//	GET  /healthz           liveness probe
+type Server struct {
+	coord *Coordinator
+	mux   *http.ServeMux
+}
+
+// New builds a Server and starts its executor pool; Close shuts the
+// pool down.
+func New(cfg Config) *Server {
+	s := &Server{coord: NewCoordinator(cfg)}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /jobs/{id}/metrics", s.handleJobMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Coordinator returns the underlying coordinator (programmatic
+// submission, metrics access).
+func (s *Server) Coordinator() *Coordinator { return s.coord }
+
+// Close stops the executor pool: running jobs finish, queued jobs fail.
+func (s *Server) Close() { s.coord.Stop() }
+
+// submitResponse acknowledges an admitted job.
+type submitResponse struct {
+	ID       string   `json:"id"`
+	Tenant   string   `json:"tenant"`
+	State    JobState `json:"state"`
+	Deadline string   `json:"deadline"`
+}
+
+// jobDoc is the wire form of a job's status: identity, lifecycle
+// timings, and — once finished — the result or failure.
+type jobDoc struct {
+	ID         string   `json:"id"`
+	Tenant     string   `json:"tenant"`
+	State      JobState `json:"state"`
+	Expired    bool     `json:"expired,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	Submitted  string   `json:"submitted"`
+	QueueSecs  float64  `json:"queue_seconds,omitempty"`
+	RunSecs    float64  `json:"run_seconds,omitempty"`
+	TotalSecs  float64  `json:"total_seconds,omitempty"`
+	DeadlineIn float64  `json:"deadline_in_seconds,omitempty"`
+	// Result is the RunOutput document ({"report", "trace_summary",
+	// "bottleneck", "counters"}) of a finished job.
+	Result *nustencil.RunOutput `json:"result,omitempty"`
+}
+
+func docOf(j Job) jobDoc {
+	doc := jobDoc{
+		ID:        j.ID,
+		Tenant:    j.Tenant,
+		State:     j.State,
+		Expired:   j.Expired,
+		Error:     j.Err,
+		Submitted: j.Submitted.UTC().Format(time.RFC3339Nano),
+	}
+	switch j.State {
+	case Queued:
+		doc.DeadlineIn = time.Until(j.Deadline).Seconds()
+	case Running:
+		doc.QueueSecs = j.Started.Sub(j.Submitted).Seconds()
+		doc.DeadlineIn = time.Until(j.Deadline).Seconds()
+	default:
+		if !j.Started.IsZero() {
+			doc.QueueSecs = j.Started.Sub(j.Submitted).Seconds()
+			doc.RunSecs = j.Finished.Sub(j.Started).Seconds()
+		}
+		doc.TotalSecs = j.Finished.Sub(j.Submitted).Seconds()
+		if j.State == Done {
+			doc.Result = j.Output
+		}
+	}
+	return doc
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+		return
+	}
+	j, err := s.coord.Submit(spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQuota):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrShuttingDown):
+			httpError(w, http.StatusServiceUnavailable, err)
+		default:
+			httpError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID:       j.ID,
+		Tenant:   j.Tenant,
+		State:    j.State,
+		Deadline: j.Deadline.UTC().Format(time.RFC3339Nano),
+	})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.coord.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, docOf(j))
+}
+
+// handleJobMetrics exposes one counted job's simulated performance
+// counters as a Prometheus scrape target — the live equivalent of
+// stencil-run -prom for a job that ran on the server.
+func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
+	j, err := s.coord.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	if j.State != Done || j.Output == nil || j.Output.Counters == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("job %s has no counters (state %s; submit with run.counters=true)", j.ID, j.State))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := j.Output.Counters.WritePrometheus(w); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// jobSummary is one row of the GET /jobs listing.
+type jobSummary struct {
+	ID      string   `json:"id"`
+	Tenant  string   `json:"tenant"`
+	State   JobState `json:"state"`
+	Expired bool     `json:"expired,omitempty"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.coord.Jobs()
+	out := make([]jobSummary, len(jobs))
+	for i, j := range jobs {
+		out[i] = jobSummary{ID: j.ID, Tenant: j.Tenant, State: j.State, Expired: j.Expired}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []jobSummary `json:"jobs"`
+	}{out})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.coord.Metrics().WritePrometheus(w); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
