@@ -327,6 +327,39 @@ func BenchmarkScheduler(b *testing.B) {
 	}
 }
 
+// BenchmarkEngine3D measures the full execute path on the 3D 7-point
+// workload — plan-cache hit, engine dispatch, and the unrolled kernel —
+// with allocations reported, so scripts/bench.sh gates the end-to-end 3D
+// path against its BENCH_engine.json budget alongside the scheduler's.
+func BenchmarkEngine3D(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			s, err := NewSolver(Config{
+				Dims: []int{66, 66, 66}, Timesteps: 10, Scheme: NuCORALS,
+				Workers: workers, NUMANodes: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.SetInitial(func(pt []int) float64 { return float64(pt[0] % 5) })
+			if _, err := s.RunSteps(10); err != nil { // warm the plan cache
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var updates int64
+			for i := 0; i < b.N; i++ {
+				rep, err := s.RunSteps(10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				updates += rep.Updates
+			}
+			b.ReportMetric(float64(updates)/b.Elapsed().Seconds()/1e9, "Gupdates/s")
+		})
+	}
+}
+
 // BenchmarkEngineOverhead measures pure scheduler cost: a 16k-tile nuCORALS
 // tiling executed with a no-op Exec, so all time is queue traffic,
 // dependency resolution and worker wakeups. Deps are prebuilt, as the

@@ -93,7 +93,7 @@ func (NaiveModel) Name() string { return "NaiveSSE" }
 func (NaiveModel) Traffic(w *Workload) Traffic {
 	ext := w.InteriorExtents()
 	nd := len(ext)
-	counts := tiling.DecomposeCounts(nd, w.Cores)
+	counts := tiling.DecomposeCountsFor(ext, w.Cores)
 	s := w.Stencil.Order
 	r0 := float64(w.Stencil.ReadsPerUpdate())
 
@@ -296,7 +296,7 @@ func (m NuCORALSModel) Traffic(w *Workload) Traffic {
 	// dimension, and the locality fraction: points processed by one thread
 	// but allocated by another amount to τ·s/(2b) per decomposed dimension
 	// (Section III-C; 75% local at the default τ in the 2D analysis).
-	counts := tiling.DecomposeCounts(len(ext), w.Cores)
+	counts := tiling.DecomposeCountsFor(ext, w.Cores)
 	halo := 0.0
 	lf := 1.0
 	for k, c := range counts {

@@ -258,6 +258,14 @@ func BuildSlabTiles(p *tiling.Problem, nTiles int, owners []int, seg int, halveW
 	nd := interior.NumDims()
 	s := p.Stencil.Order
 
+	// Clamp to the extents: a slab or wavefront half must be at least one
+	// cell wide, so tiny interiors absorb the surplus parts.
+	if ext := interior.Extent(TilingDim); nTiles > ext && ext >= 1 {
+		nTiles = ext
+	}
+	wfDim := WavefrontDim(nd)
+	halve := halveWavefrontDim && wfDim >= 0 && interior.Extent(wfDim) >= 2
+
 	splits := make([][]int, nd)
 	slope := make([]int, nd)
 	counts := make([]int, nd)
@@ -266,8 +274,7 @@ func BuildSlabTiles(p *tiling.Problem, nTiles int, owners []int, seg int, halveW
 	}
 	counts[TilingDim] = nTiles
 	slope[TilingDim] = -s
-	wfDim := WavefrontDim(nd)
-	if halveWavefrontDim && wfDim >= 0 {
+	if halve {
 		counts[wfDim] = 2
 		slope[wfDim] = -s
 	}
@@ -278,7 +285,7 @@ func BuildSlabTiles(p *tiling.Problem, nTiles int, owners []int, seg int, halveW
 	var tiles []*spacetime.Tile
 	idx := make([]int, nd)
 	halves := 1
-	if halveWavefrontDim && wfDim >= 0 {
+	if halve {
 		halves = 2
 	}
 	for i := 0; i < nTiles; i++ {

@@ -82,7 +82,8 @@ func PlanTiles(p *tiling.Problem) Plan {
 		if wAtWorkers < 1 {
 			wAtWorkers = 1
 		}
-		if wAtWorkers >= wMin || cats.WavefrontDim(interior.NumDims()) < 0 || workers < 2 {
+		wfDim := cats.WavefrontDim(interior.NumDims())
+		if wAtWorkers >= wMin || wfDim < 0 || interior.Extent(wfDim) < 2 || workers < 2 {
 			n = workers
 			if n > ext {
 				n = ext

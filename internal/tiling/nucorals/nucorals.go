@@ -102,7 +102,7 @@ func (s *Scheme) Tau(p *tiling.Problem) int {
 // TauFor is the pure form of Tau: the default thread-parallelogram height
 // for the given interior extents, worker count, and stencil order.
 func TauFor(extents []int, workers, order int) int {
-	counts := tiling.DecomposeCounts(len(extents), workers)
+	counts := tiling.DecomposeCountsFor(extents, workers)
 	b := 0
 	for k, c := range counts {
 		ext := extents[k] / c
@@ -145,7 +145,11 @@ func (s *Scheme) Tiles(p *tiling.Problem) ([]*spacetime.Tile, error) {
 	splits := make([][]int, nd)
 	slabSlope := make([]int, nd)
 	rootSlope := make([]int, nd)
+	// Extent-aware counts may multiply to fewer subdomains than workers on
+	// tiny interiors; the surplus workers simply receive no tiles.
+	nsub := 1
 	for k := 0; k < nd; k++ {
+		nsub *= counts[k]
 		splits[k] = tiling.EvenCuts(interior.Lo[k], interior.Hi[k], counts[k])
 		if counts[k] > 1 {
 			slabSlope[k] = ord // thread parallelograms skew right
@@ -161,7 +165,7 @@ func (s *Scheme) Tiles(p *tiling.Problem) ([]*spacetime.Tile, error) {
 		if t0+h > p.Timesteps {
 			h = p.Timesteps - t0
 		}
-		for w := 0; w < p.Workers; w++ {
+		for w := 0; w < nsub; w++ {
 			idx := multiIndex(w, counts)
 			// The thread parallelogram: the subdomain's skewed slab over
 			// this layer, with domain-edge boundaries pinned (the

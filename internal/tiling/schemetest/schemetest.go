@@ -51,6 +51,13 @@ func DefaultCases() []Case {
 		{Name: "tall-time", Dims: []int{8, 8, 10}, Order: 1, Timesteps: 20, Workers: 2, Nodes: 2},
 		{Name: "with-source", Dims: []int{10, 10, 10}, Order: 1, Source: true, Timesteps: 6, Workers: 3, Nodes: 2},
 		{Name: "4d", Dims: []int{6, 7, 6, 8}, Order: 1, Timesteps: 4, Workers: 4, Nodes: 2},
+		// Tiny interiors with worker counts exceeding the extents: the
+		// decomposition must absorb the surplus (never emit empty boxes).
+		{Name: "tiny-3wide-4w", Dims: []int{5, 5, 34}, Order: 1, Timesteps: 5, Workers: 4, Nodes: 2},
+		{Name: "tiny-3d-16w", Dims: []int{5, 5, 5}, Order: 1, Timesteps: 4, Workers: 16, Nodes: 4},
+		{Name: "tiny-2d-6w", Dims: []int{4, 18}, Order: 1, Timesteps: 5, Workers: 6, Nodes: 2},
+		{Name: "tiny-1d-8w", Dims: []int{6}, Order: 1, Timesteps: 4, Workers: 8, Nodes: 4},
+		{Name: "tiny-banded-9w", Dims: []int{5, 4, 12}, Order: 1, Banded: true, Timesteps: 4, Workers: 9, Nodes: 3},
 	}
 }
 

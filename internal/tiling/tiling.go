@@ -138,18 +138,27 @@ func TraverseOrDefault(s Scheme, tile *spacetime.Tile, order int) []StepBox {
 	return out
 }
 
-// Decompose splits the interior into exactly n boxes arranged as a tensor
-// grid over the spatial dimensions, excluding the unit-stride (last)
-// dimension as Section III-D prescribes (cutting it would hurt bandwidth
-// utilization). Each decomposed dimension receives ≈ n^(1/(m-2)) cuts, with
-// higher-stride dimensions favored when n does not split evenly. The
-// returned counts give the number of parts per dimension (product == n).
+// Decompose splits the interior into boxes arranged as a tensor grid over
+// the spatial dimensions, excluding the unit-stride (last) dimension as
+// Section III-D prescribes (cutting it would hurt bandwidth utilization).
+// Each decomposed dimension receives ≈ n^(1/(m-2)) cuts, with higher-stride
+// dimensions favored when n does not split evenly. The returned counts give
+// the number of parts per dimension (product == len(boxes)).
+//
+// Counts are extent-aware: no dimension is cut into more parts than it has
+// cells, so every returned box is non-empty. When the interior is too small
+// to host n parts the product of the counts falls below n — callers get
+// fewer subdomains, never degenerate ones.
 //
 // A 1-dimensional grid has only the unit-stride dimension; it is cut anyway
 // since there is no alternative.
 func Decompose(interior grid.Box, n int) (boxes []grid.Box, counts []int) {
 	nd := interior.NumDims()
-	counts = DecomposeCounts(nd, n)
+	ext := make([]int, nd)
+	for k := 0; k < nd; k++ {
+		ext[k] = interior.Extent(k)
+	}
+	counts = DecomposeCountsFor(ext, n)
 	// Build the tensor product of per-dimension splits.
 	splits := make([][]int, nd) // cut coordinates including both ends
 	for k := 0; k < nd; k++ {
@@ -171,41 +180,95 @@ func Decompose(interior grid.Box, n int) (boxes []grid.Box, counts []int) {
 }
 
 // DecomposeCounts returns the per-dimension part counts of the Section
-// III-D decomposition for an nd-dimensional grid and n threads: product
-// equals n, the unit-stride (last) dimension stays uncut when possible, and
-// higher-stride dimensions receive the larger factors.
+// III-D decomposition for an nd-dimensional grid and n threads, ignoring
+// extents: product equals n, the unit-stride (last) dimension stays uncut
+// when possible, and higher-stride dimensions receive the larger factors.
+// Prefer DecomposeCountsFor when the extents are known — it guarantees no
+// dimension is cut finer than its cell count.
 func DecomposeCounts(nd, n int) []int {
+	ext := make([]int, nd)
+	for k := range ext {
+		ext[k] = n // effectively unbounded: every factor fits
+	}
+	return DecomposeCountsFor(ext, n)
+}
+
+// DecomposeCountsFor is the extent-aware form of DecomposeCounts: the prime
+// factors of n are distributed largest-first over the non-unit-stride
+// dimensions (smallest current count wins, highest stride breaks ties), but
+// a dimension never receives a factor that would push its part count past
+// its extent. A factor no dimension can absorb whole is rebalanced onto the
+// largest partial cut a non-unit-stride dimension still offers; only when
+// every non-unit-stride dimension is saturated does the unit-stride
+// dimension absorb parts (Section III-D: cutting it hurts bandwidth, but
+// one-cell-wide parts would be worse). Tiny interiors thus yield a product
+// below n rather than zero-width parts: every returned count satisfies
+// 1 <= counts[k] <= max(ext[k], 1) and the product never exceeds n.
+func DecomposeCountsFor(ext []int, n int) []int {
+	nd := len(ext)
 	counts := make([]int, nd)
+	lim := make([]int, nd)
 	for k := range counts {
 		counts[k] = 1
+		lim[k] = ext[k]
+		if lim[k] < 1 {
+			lim[k] = 1
+		}
 	}
 	// Candidate dimensions: all but the last, unless that leaves none.
 	cand := nd - 1
 	if cand == 0 {
 		cand = 1
 	}
-	// Distribute the prime factors of n over the candidate dimensions,
-	// largest factors first, always to the dimension with the smallest
-	// current count, preferring the highest stride (lowest index) on ties.
-	for _, f := range primeFactorsDesc(n) {
-		best := 0
-		for k := 1; k < cand; k++ {
-			if counts[k] < counts[best] {
+	fits := func(k, f int) bool { return counts[k] <= lim[k]/f }
+	// place tries one factor on dims [from,to): whole if it fits, else the
+	// largest partial cut (capped at f so the running product stays <= n).
+	place := func(f, from, to int) bool {
+		best := -1
+		for k := from; k < to; k++ {
+			if fits(k, f) && (best < 0 || counts[k] < counts[best]) {
 				best = k
 			}
 		}
-		counts[best] *= f
+		if best >= 0 {
+			counts[best] *= f
+			return true
+		}
+		bestGain := 1
+		for k := from; k < to; k++ {
+			gain := lim[k] / counts[k]
+			if gain > f {
+				gain = f
+			}
+			if gain > bestGain {
+				best, bestGain = k, gain
+			}
+		}
+		if best >= 0 {
+			counts[best] *= bestGain
+			return true
+		}
+		return false
+	}
+	for _, f := range primeFactorsDesc(n) {
+		if !place(f, 0, cand) {
+			place(f, cand, nd)
+		}
 	}
 	return counts
 }
 
 // EvenCuts returns c+1 monotone cut coordinates dividing [lo,hi) into c
-// near-equal parts.
+// near-equal parts. When the span has at least one cell, c is clamped to
+// the span so no part is empty.
 func EvenCuts(lo, hi, c int) []int {
 	if c < 1 {
 		c = 1
 	}
 	ext := hi - lo
+	if ext >= 1 && c > ext {
+		c = ext
+	}
 	cuts := make([]int, c+1)
 	for i := 0; i <= c; i++ {
 		cuts[i] = lo + i*ext/c

@@ -39,8 +39,70 @@ func TestDecomposeNeverCutsUnitStride(t *testing.T) {
 		if counts[2] != 1 {
 			t.Errorf("n=%d cut the unit-stride dimension: %v", n, counts)
 		}
-		if len(boxes) != n {
-			t.Errorf("n=%d produced %d boxes", n, len(boxes))
+		// Extent-aware counts: n that factors into the 8x8 candidate grid
+		// yields exactly n boxes; primes beyond an extent rebalance to the
+		// largest partial cut, never to empty boxes.
+		if len(boxes) != counts[0]*counts[1]*counts[2] || len(boxes) > n {
+			t.Errorf("n=%d produced %d boxes, counts %v", n, len(boxes), counts)
+		}
+		for _, b := range boxes {
+			if b.Empty() {
+				t.Fatalf("n=%d produced empty box %v (counts %v)", n, b, counts)
+			}
+		}
+	}
+	// All of 1..10, 12, 14..16 factor into the 8x8 candidate grid exactly.
+	for _, n := range []int{6, 8, 10, 12, 16} {
+		if boxes, _ := Decompose(in, n); len(boxes) != n {
+			t.Errorf("n=%d should split exactly, got %d boxes", n, len(boxes))
+		}
+	}
+}
+
+func TestDecomposeTinyInteriorNeverEmpty(t *testing.T) {
+	// The issue case: a 3-wide interior split for 4 workers must not
+	// produce an empty (Lo==Hi) box. The leftover factor the 3-wide
+	// dimension cannot absorb rebalances onto the unit-stride dimension.
+	in := grid.NewBox([]int{1, 1}, []int{4, 33})
+	boxes, counts := Decompose(in, 4)
+	if len(boxes) != 4 || counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("3-wide x 4 workers: boxes=%d counts=%v, want 4 [2 2]", len(boxes), counts)
+	}
+	for _, b := range boxes {
+		if b.Empty() {
+			t.Fatalf("empty box %v", b)
+		}
+	}
+	// Unit-stride absorbs parts only once all other dims are saturated.
+	in = grid.NewBox([]int{1, 1}, []int{2, 9})
+	boxes, counts = Decompose(in, 8)
+	if counts[0] != 1 || counts[1] != 8 || len(boxes) != 8 {
+		t.Errorf("1x8 interior x 8 workers: boxes=%d counts=%v, want 8 [1 8]", len(boxes), counts)
+	}
+}
+
+func TestDecomposeCountsForBounds(t *testing.T) {
+	for _, tc := range []struct {
+		ext []int
+		n   int
+	}{
+		{[]int{3, 3, 3}, 64}, {[]int{1, 1, 1}, 7}, {[]int{5}, 13},
+		{[]int{2, 64}, 12}, {[]int{17, 1, 9}, 6},
+	} {
+		counts := DecomposeCountsFor(tc.ext, tc.n)
+		prod := 1
+		for k, c := range counts {
+			lim := tc.ext[k]
+			if lim < 1 {
+				lim = 1
+			}
+			if c < 1 || c > lim {
+				t.Errorf("ext=%v n=%d: counts[%d]=%d out of [1,%d]", tc.ext, tc.n, k, c, lim)
+			}
+			prod *= c
+		}
+		if prod > tc.n {
+			t.Errorf("ext=%v n=%d: product %d exceeds n", tc.ext, tc.n, prod)
 		}
 	}
 }
@@ -54,28 +116,37 @@ func TestDecompose1DGridCutsOnlyDim(t *testing.T) {
 }
 
 func TestDecomposePartitionProperty(t *testing.T) {
+	// For any valid interior (every extent >= 1) and any worker count,
+	// Decompose returns product(counts) non-empty boxes that partition the
+	// interior exactly, with no dimension cut finer than its extent.
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		nd := 1 + r.Intn(3)
+		nd := 1 + r.Intn(4)
 		lo := make([]int, nd)
 		hi := make([]int, nd)
 		for k := range lo {
 			lo[k] = r.Intn(3)
-			hi[k] = lo[k] + 4 + r.Intn(20)
+			hi[k] = lo[k] + 1 + r.Intn(23) // extents down to 1: the degenerate zone
 		}
 		in := grid.Box{Lo: lo, Hi: hi}
-		n := 1 + r.Intn(12)
+		n := 1 + r.Intn(64)
 		boxes, counts := Decompose(in, n)
 		prod := 1
-		for _, c := range counts {
+		for k, c := range counts {
+			if c < 1 || c > in.Extent(k) {
+				return false
+			}
 			prod *= c
 		}
-		if prod != n || len(boxes) != n {
+		if prod > n || len(boxes) != prod {
 			return false
 		}
-		// Partition: sizes sum, pairwise disjoint.
+		// Partition: non-empty, sizes sum, pairwise disjoint.
 		var sum int64
 		for i, b := range boxes {
+			if b.Empty() {
+				return false
+			}
 			sum += b.Size()
 			for j := i + 1; j < len(boxes); j++ {
 				if b.Intersects(boxes[j]) {
@@ -88,7 +159,7 @@ func TestDecomposePartitionProperty(t *testing.T) {
 		}
 		return sum == in.Size()
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
 		t.Error(err)
 	}
 }

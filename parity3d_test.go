@@ -1,0 +1,90 @@
+package nustencil
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// parity3dVariants are the 7-point 3D workload flavors every scheme must
+// reproduce bit-for-bit: the constant-coefficient kernel, the banded
+// (variable-coefficient) kernel, and the source-term variant.
+var parity3dVariants = []struct {
+	name   string
+	banded bool
+	source bool
+}{
+	{name: "constant"},
+	{name: "banded", banded: true},
+	{name: "source", source: true},
+}
+
+// solve3d builds a 3D 7-point solver for one scheme/variant pair, runs it
+// through Execute, and returns the exported interior state.
+func solve3d(t *testing.T, scheme SchemeName, dims []int, workers int, banded, source bool) []float64 {
+	t.Helper()
+	s, err := NewSolver(Config{
+		Dims:              dims,
+		Order:             1, // 7-point star in 3D
+		Banded:            banded,
+		Scheme:            scheme,
+		Workers:           workers,
+		NUMANodes:         2,
+		LLCBytesPerWorker: 1 << 10, // small enough to force real tiling
+	})
+	if err != nil {
+		t.Fatalf("%s: NewSolver: %v", scheme, err)
+	}
+	s.SetInitial(func(pt []int) float64 {
+		return float64(pt[0]*73+pt[1]*37+pt[2])*0.01 - 1
+	})
+	if banded {
+		if err := s.SetCoefficients(func(p int, pt []int) float64 {
+			return 0.02 + 0.001*float64(p+pt[0]+pt[2])
+		}); err != nil {
+			t.Fatalf("%s: SetCoefficients: %v", scheme, err)
+		}
+	}
+	if source {
+		s.SetSource(func(pt []int) float64 { return 0.001 * float64(pt[1]+pt[2]) })
+	}
+	if _, err := s.Execute(context.Background(), RunSpec{Timesteps: 6}); err != nil {
+		t.Fatalf("%s: Execute: %v", scheme, err)
+	}
+	return s.Export(nil)
+}
+
+// TestParity3DAllSchemes pins 3D 7-point bit-exactness at the public API:
+// every registered scheme, driven through Execute, must match the naive
+// reference exactly — constant, banded, and source-term variants, on both
+// a comfortable grid and a tiny interior with more workers than any
+// dimension has cells (the degenerate-decomposition regression).
+func TestParity3DAllSchemes(t *testing.T) {
+	shapes := []struct {
+		name    string
+		dims    []int
+		workers int
+	}{
+		{name: "14x13x12-4w", dims: []int{14, 13, 12}, workers: 4},
+		{name: "tiny-5x5x34-8w", dims: []int{5, 5, 34}, workers: 8},
+	}
+	for _, sh := range shapes {
+		for _, v := range parity3dVariants {
+			t.Run(fmt.Sprintf("%s-%s", sh.name, v.name), func(t *testing.T) {
+				ref := solve3d(t, Naive, sh.dims, 1, v.banded, v.source)
+				for _, scheme := range Schemes() {
+					got := solve3d(t, scheme, sh.dims, sh.workers, v.banded, v.source)
+					if len(got) != len(ref) {
+						t.Fatalf("%s: export length %d, want %d", scheme, len(got), len(ref))
+					}
+					for i := range got {
+						if got[i] != ref[i] {
+							t.Fatalf("%s diverges from naive at index %d: %v != %v",
+								scheme, i, got[i], ref[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -14,10 +14,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BASE_REF="${1:-HEAD~1}"
 BENCHTIME="${2:-10x}"
-BENCH_RE='BenchmarkScheme$|BenchmarkKernel|BenchmarkScheduler|BenchmarkEngineOverhead'
+BENCH_RE='BenchmarkScheme$|BenchmarkKernel|BenchmarkScheduler|BenchmarkEngineOverhead|BenchmarkEngine3D'
 
 echo "== race-detector suites =="
-go test -race ./internal/engine/... ./internal/stencil/... ./internal/trace/... ./internal/perfcount/...
+go test -race ./internal/engine/... ./internal/stencil/... ./internal/tiling/... ./internal/trace/... ./internal/perfcount/...
 
 echo "== go vet =="
 go vet ./...
@@ -59,7 +59,7 @@ if [ -f BENCH_engine.json ]; then
             GATE_MSGS="${GATE_MSGS}allocation regression: $name at $allocs allocs/op exceeds recorded budget $budget by >10%
 "
         fi
-    done < <(awk '$1 ~ /^BenchmarkEngineOverhead/ {print $1, $4}' "$AFTER")
+    done < <(awk '$1 ~ /^BenchmarkEngineOverhead|^BenchmarkEngine3D/ {print $1, $4}' "$AFTER")
 fi
 
 BEFORE=""

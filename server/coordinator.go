@@ -309,6 +309,11 @@ func (c *Coordinator) Stop() {
 			j.State = Failed
 			j.Err = ErrShuttingDown.Error()
 			j.Finished = now
+			// A drained job spent its whole life queued: latency and
+			// queue wait coincide. Recording it keeps the conservation
+			// identity submitted == completed+failed+rejected across Stop.
+			wait := now.Sub(j.Submitted)
+			c.metrics.Failed(j.Tenant, false, wait, wait)
 		}
 		tq.backlog = nil
 	}

@@ -356,6 +356,80 @@ func TestShutdownFailsQueuedJobs(t *testing.T) {
 	}
 }
 
+// TestShutdownMetricsConservation: jobs drained by Stop are recorded, so
+// the lifecycle counters reconcile — every admitted job ends up exactly
+// once in completed or failed, the gauges return to zero, and the
+// latency/queue-wait histograms saw every finished job.
+func TestShutdownMetricsConservation(t *testing.T) {
+	release := make(chan struct{})
+	c := NewCoordinator(Config{
+		Executors:        1,
+		TenantQueueDepth: 2,
+		runJob: func(ctx context.Context, spec JobSpec) (*nustencil.RunOutput, error) {
+			<-release
+			return &nustencil.RunOutput{}, nil
+		},
+	})
+
+	first, err := c.Submit(tinySpec("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j, err := c.Job(first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == Running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never started: %+v", first.ID, j)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, tenant := range []string{"a", "b", "b"} {
+		if _, err := c.Submit(tinySpec(tenant)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A quota rejection must stay outside the submitted/finished identity.
+	if _, err := c.Submit(tinySpec("b")); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("third queued job for tenant b: %v", err)
+	}
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	c.Stop()
+
+	s := c.Metrics().Snapshot()
+	if s.Submitted != 4 || s.Rejected != 1 {
+		t.Fatalf("admission counters: %+v", s)
+	}
+	if s.Submitted != s.Completed+s.Failed {
+		t.Errorf("conservation violated: submitted %d != completed %d + failed %d",
+			s.Submitted, s.Completed, s.Failed)
+	}
+	if s.Completed != 1 || s.Failed != 3 || s.Expired != 0 {
+		t.Errorf("outcome counters: %+v", s)
+	}
+	if s.QueueDepth != 0 || s.Running != 0 {
+		t.Errorf("gauges after Stop: depth=%d running=%d", s.QueueDepth, s.Running)
+	}
+	if s.Latency.N != s.Completed+s.Failed || s.QueueWait.N != s.Completed+s.Failed {
+		t.Errorf("histogram counts: latency %d queueWait %d, want %d",
+			s.Latency.N, s.QueueWait.N, s.Completed+s.Failed)
+	}
+	for name, ten := range s.Tenants {
+		if ten.Submitted != ten.Completed+ten.Failed {
+			t.Errorf("tenant %q conservation violated: %+v", name, ten)
+		}
+	}
+}
+
 // TestJobNotFound: unknown IDs 404.
 func TestJobNotFound(t *testing.T) {
 	srv := New(Config{})
