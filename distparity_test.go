@@ -1,0 +1,237 @@
+package nustencil
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"nustencil/internal/dist"
+)
+
+// solve3dDist mirrors solve3d on the distributed path: same grid,
+// initial state, coefficients and source, executed with Ranks simulated
+// nodes (and optional tuning through the test seam).
+func solve3dDist(t *testing.T, scheme SchemeName, dims []int, ranks, workers int, banded, source bool, tune *distTuning, steps []int) []float64 {
+	t.Helper()
+	s, err := NewSolver(Config{
+		Dims:              dims,
+		Order:             1,
+		Banded:            banded,
+		Scheme:            scheme,
+		Workers:           workers,
+		Ranks:             ranks,
+		ChareFactor:       3,
+		NUMANodes:         2,
+		LLCBytesPerWorker: 1 << 10,
+	})
+	if err != nil {
+		t.Fatalf("%s: NewSolver: %v", scheme, err)
+	}
+	s.distTune = tune
+	s.SetInitial(func(pt []int) float64 {
+		return float64(pt[0]*73+pt[1]*37+pt[2])*0.01 - 1
+	})
+	if banded {
+		if err := s.SetCoefficients(func(p int, pt []int) float64 {
+			return 0.02 + 0.001*float64(p+pt[0]+pt[2])
+		}); err != nil {
+			t.Fatalf("%s: SetCoefficients: %v", scheme, err)
+		}
+	}
+	if source {
+		s.SetSource(func(pt []int) float64 { return 0.001 * float64(pt[1]+pt[2]) })
+	}
+	for _, n := range steps {
+		if _, err := s.Execute(context.Background(), RunSpec{Timesteps: n}); err != nil {
+			t.Fatalf("%s: Execute: %v", scheme, err)
+		}
+	}
+	return s.Export(nil)
+}
+
+// TestDistributedParity3D pins the tentpole's correctness bar at the
+// public API: a multi-rank overdecomposed Execute is bit-exact with the
+// single-process Execute of every registered scheme, across the
+// constant, banded, and source-term variants — including a run split
+// over two Execute calls (the scatter/gather must respect buffer
+// parity).
+func TestDistributedParity3D(t *testing.T) {
+	dims := []int{14, 13, 12}
+	for _, v := range parity3dVariants {
+		t.Run(v.name, func(t *testing.T) {
+			for _, scheme := range Schemes() {
+				ref := solve3d(t, scheme, dims, 4, v.banded, v.source)
+				got := solve3dDist(t, scheme, dims, 2, 4, v.banded, v.source, nil, []int{6})
+				if len(got) != len(ref) {
+					t.Fatalf("%s: export length %d, want %d", scheme, len(got), len(ref))
+				}
+				for i := range got {
+					if got[i] != ref[i] {
+						t.Fatalf("%s: distributed diverges at index %d: %v != %v",
+							scheme, i, got[i], ref[i])
+					}
+				}
+			}
+			// Split runs: 2 then 4 steps must land exactly where one 6-step
+			// run does.
+			ref := solve3dDist(t, Naive, dims, 3, 3, v.banded, v.source, nil, []int{6})
+			got := solve3dDist(t, Naive, dims, 3, 3, v.banded, v.source, nil, []int{2, 4})
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("split distributed run diverges at index %d: %v != %v", i, got[i], ref[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDistributedMigrationParity drives the CHANGELOAD pattern — a
+// synthetic hotspot that jumps between halves of the chare set — with
+// the greedy balancer rebalancing every other step, and pins that
+// migrations actually happen and the result stays bit-exact.
+func TestDistributedMigrationParity(t *testing.T) {
+	dims := []int{14, 13, 12}
+	ref := solve3d(t, Naive, dims, 1, false, false)
+	var migrated *Solver
+	tune := &distTuning{
+		LBPeriod: 2,
+		LoadFunc: func(chare, step int) int {
+			// The hot half flips each 4-step phase, the stencil3d
+			// CHANGELOAD shape.
+			if (step/4)%2 == (chare/3)%2 {
+				return 400000
+			}
+			return 0
+		},
+	}
+	s, err := NewSolver(Config{
+		Dims: dims, Order: 1, Workers: 4, Ranks: 2, ChareFactor: 3,
+	})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	migrated = s
+	migrated.distTune = tune
+	migrated.SetInitial(func(pt []int) float64 {
+		return float64(pt[0]*73+pt[1]*37+pt[2])*0.01 - 1
+	})
+	out, err := migrated.Execute(context.Background(), RunSpec{Timesteps: 6})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if out.Report.Updates == 0 {
+		t.Fatalf("no updates reported")
+	}
+	if out.Report.Migrations == 0 {
+		t.Fatalf("CHANGELOAD hotspot produced no migrations")
+	}
+	got := migrated.Export(nil)
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("migrated run diverges at index %d: %v != %v", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestDistributedCounted pins the distributed counter path: counters
+// carry the rank count and the transport's measured network bytes, and
+// the attribution includes a NetBand bound.
+func TestDistributedCounted(t *testing.T) {
+	s, err := NewSolver(Config{
+		Dims: []int{14, 13, 12}, Order: 1, Workers: 4, Ranks: 2, ChareFactor: 3,
+	})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	s.SetInitial(func(pt []int) float64 { return float64(pt[0]+pt[1]+pt[2]) * 0.01 })
+	out, err := s.Execute(context.Background(), RunSpec{Timesteps: 6, Counters: true})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	pc := out.Counters
+	if pc == nil {
+		t.Fatalf("counted distributed run returned no counters")
+	}
+	if pc.Updates() == 0 {
+		t.Fatalf("counters account no updates")
+	}
+	if pc.c.Ranks != 2 {
+		t.Fatalf("counters carry Ranks = %d, want 2", pc.c.Ranks)
+	}
+	if pc.c.NetworkBytes == 0 {
+		t.Fatalf("counters carry no network bytes for a 2-rank run")
+	}
+	rep := pc.Bottleneck()
+	found := false
+	for _, b := range rep.Bounds {
+		if b.Bound == "NetBand" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("attribution bounds lack NetBand: %+v", rep.Bounds)
+	}
+}
+
+// TestDistributedValidation pins the Config surface: invalid rank
+// combinations are rejected at construction, and unsupported
+// observability is rejected at Execute.
+func TestDistributedValidation(t *testing.T) {
+	base := Config{Dims: []int{10, 10, 10}, Workers: 2}
+	bad := []Config{
+		func() Config { c := base; c.Ranks = -1; return c }(),
+		func() Config { c := base; c.Ranks = 2; c.ChareFactor = -3; return c }(),
+		func() Config { c := base; c.Ranks = 2; c.Periodic = true; c.Scheme = Naive; return c }(),
+		func() Config { c := base; c.Ranks = 2; c.StaticSchedule = true; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := NewSolver(cfg); err == nil {
+			t.Fatalf("config %d (%+v) accepted", i, cfg)
+		}
+	}
+	s, err := NewSolver(func() Config { c := base; c.Ranks = 2; return c }())
+	if err != nil {
+		t.Fatalf("valid distributed config rejected: %v", err)
+	}
+	if _, err := s.Execute(context.Background(), RunSpec{Timesteps: 2, Trace: true}); err == nil {
+		t.Fatalf("traced distributed run accepted")
+	}
+	// The rejected trace run must not have consumed state: a plain run
+	// still works and the solver is not poisoned.
+	if err := s.Err(); err != nil {
+		t.Fatalf("solver poisoned by a rejected spec: %v", err)
+	}
+	if _, err := s.Execute(context.Background(), RunSpec{Timesteps: 2}); err != nil {
+		t.Fatalf("Execute after rejected spec: %v", err)
+	}
+}
+
+// TestDistributedTransportSeam pins that a custom transport is honored:
+// the runtime routes every inter-rank halo through it.
+func TestDistributedTransportSeam(t *testing.T) {
+	tr := dist.NewLocalTransport(2)
+	s, err := NewSolver(Config{Dims: []int{12, 12, 12}, Workers: 2, Ranks: 2})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	s.distTune = &distTuning{Transport: tr}
+	s.SetInitial(func(pt []int) float64 { return float64(pt[0]) })
+	if _, err := s.Execute(context.Background(), RunSpec{Timesteps: 3}); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if st := tr.Stats(); st.Msgs == 0 || st.HaloBytes == 0 {
+		t.Fatalf("custom transport saw no traffic: %+v", st)
+	}
+}
+
+func ExampleConfig_distributed() {
+	s, _ := NewSolver(Config{
+		Dims:    []int{34, 34, 34},
+		Workers: 4,
+		Ranks:   2, // two simulated nodes, halo exchange between them
+	})
+	s.SetInitial(func(pt []int) float64 { return float64(pt[0]) })
+	out, _ := s.Execute(nil, RunSpec{Timesteps: 4})
+	fmt.Println(out.Report.Updates > 0)
+	// Output: true
+}

@@ -1,0 +1,164 @@
+package nustencil
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"nustencil/internal/affinity"
+	"nustencil/internal/dist"
+	"nustencil/internal/machine"
+	"nustencil/internal/memsim"
+	"nustencil/internal/perfcount"
+)
+
+// distTuning tunes the distributed path beyond the Config surface:
+// load-balance cadence, balancer, synthetic load, and transport are
+// runtime concerns the wire-form Config deliberately does not carry.
+// Tests reach them through the Solver's unexported distTune field.
+type distTuning struct {
+	// LBPeriod inserts a load-balance barrier every LBPeriod timesteps
+	// (0 disables migration).
+	LBPeriod int
+	// Balancer decides migrations at each barrier (nil: GreedyBalancer).
+	Balancer dist.Balancer
+	// LoadFunc adds synthetic per-chare per-step work — the
+	// CHANGELOAD-style time-varying hotspot migration tests use.
+	LoadFunc func(chare, step int) int
+	// Transport overrides the in-process transport.
+	Transport dist.Transport
+}
+
+// runDistributed executes timesteps on the distributed layer: the grid
+// scattered into rank-owned chares with per-step halo exchange, gathered
+// back on success. Unlike the tiled path, a failed distributed run does
+// NOT poison the solver — the runtime only writes the global grid in its
+// final gather, so the pre-run state stays consistent.
+func (s *Solver) runDistributed(ctx context.Context, timesteps int, traced bool, counted *CounterOptions, rep Report) (Report, *Trace, *PerfCounters, error) {
+	cfg := s.cfg
+	if traced {
+		return rep, nil, nil, errors.New("nustencil: trace collection is not supported on distributed runs (Ranks > 1)")
+	}
+	wpr := cfg.Workers / cfg.Ranks
+	if wpr < 1 {
+		wpr = 1
+	}
+	workers := cfg.Ranks * wpr
+	rep.Workers = workers
+	opts := dist.Options{
+		Ranks:          cfg.Ranks,
+		ChareFactor:    cfg.ChareFactor,
+		WorkersPerRank: wpr,
+	}
+	if s.distTune != nil {
+		opts.LBPeriod = s.distTune.LBPeriod
+		opts.Balancer = s.distTune.Balancer
+		opts.LoadFunc = s.distTune.LoadFunc
+		opts.Transport = s.distTune.Transport
+	}
+
+	var col *perfcount.Collector
+	var cmach *machine.Machine
+	var simCores int
+	if counted != nil {
+		name := counted.Machine
+		if name == "" {
+			name = XeonX7550
+		}
+		var err error
+		cmach, err = machineFor(name)
+		if err != nil {
+			return rep, nil, nil, err
+		}
+		// Each chare runs plain per-step sweeps regardless of cfg.Scheme,
+		// so the naive model prices the traffic honestly.
+		mod := memsim.Models()[string(Naive)]
+		simCores = workers
+		if simCores > cmach.NumCores() {
+			simCores = cmach.NumCores()
+		}
+		chareFactor := cfg.ChareFactor
+		if chareFactor < 1 {
+			chareFactor = dist.DefaultChareFactor
+		}
+		traffic := mod.Traffic(&memsim.Workload{
+			Machine:   cmach,
+			Stencil:   s.st,
+			Dims:      s.g.Dims(),
+			Timesteps: timesteps,
+			Cores:     simCores,
+			Ranks:     cfg.Ranks,
+			Chares:    cfg.Ranks * chareFactor,
+		})
+		topo := affinity.Fixed{Cores: workers, Nodes: cfg.NUMANodes}
+		col, err = perfcount.NewCollector(perfcount.Config{
+			Workers:            workers,
+			Nodes:              cfg.NUMANodes,
+			NodeOfWorker:       topo.NodeOfCore,
+			FlopsPerUpdate:     s.st.FlopsPerUpdate(),
+			MainBytesPerUpdate: traffic.MainWords * 8,
+			LLCBytesPerUpdate:  traffic.LLCWords * 8,
+			// Grid stays nil: per-node page-ownership attribution needs
+			// the tile geometry the chare runtime doesn't produce.
+		})
+		if err != nil {
+			return rep, nil, nil, err
+		}
+		opts.OnExec = func(w int, n int64, d time.Duration) {
+			col.RecordTile(w, nil, n, d)
+		}
+	}
+
+	prob := dist.Problem{
+		Grid:    s.g,
+		Base:    s.steps,
+		Stencil: s.st,
+		Coeffs:  s.coeffs,
+		Source:  s.source,
+	}
+	rtm, err := dist.New(prob, opts)
+	if err != nil {
+		return rep, nil, nil, err
+	}
+	start := time.Now()
+	res, err := rtm.Run(ctx, timesteps)
+	if err != nil {
+		return rep, nil, nil, err
+	}
+	rep.Seconds = time.Since(start).Seconds()
+	s.steps += timesteps
+	rep.Updates = res.Updates
+	rep.Tiles = int(res.ChareSteps)
+	rep.UpdatesPerWorker = res.UpdatesPerWorker
+	rep.Imbalance = busyImbalance(res.BusyPerWorker)
+	rep.Migrations = res.Migrations
+
+	var pc *PerfCounters
+	if col != nil {
+		counters := col.Counters()
+		counters.Ranks = cfg.Ranks
+		counters.NetworkBytes = res.Net.Bytes()
+		pc = &PerfCounters{
+			c:    counters,
+			attr: perfcount.Attribute(counters, cmach, s.st, simCores, rep.Seconds),
+		}
+	}
+	return rep, nil, pc, nil
+}
+
+// busyImbalance is max/mean of the per-worker busy times (1.0 =
+// perfectly balanced, 0 if nothing ran).
+func busyImbalance(busy []time.Duration) float64 {
+	var max, sum time.Duration
+	for _, b := range busy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum <= 0 || len(busy) == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(busy))
+	return float64(max) / mean
+}

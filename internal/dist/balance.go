@@ -1,0 +1,87 @@
+package dist
+
+// Move reassigns one chare to a rank.
+type Move struct {
+	Chare, To int
+}
+
+// Balancer decides migrations at a load-balance barrier from the last
+// segment's measured per-chare execution times. load[i] is chare i's
+// measured load, rank[i] its current owner; the returned moves are
+// applied in order.
+type Balancer interface {
+	Rebalance(load []float64, rank []int, ranks int) []Move
+}
+
+// GreedyBalancer repeatedly moves the heaviest movable chare from the
+// most-loaded rank to the least-loaded one — the standard greedy
+// refinement Charm++'s GreedyLB family uses — until the spread is
+// within Tolerance of the mean or MaxMoves is reached. A move is only
+// taken when it strictly reduces the max-min gap, so the balancer
+// terminates and never oscillates.
+type GreedyBalancer struct {
+	// MaxMoves bounds migrations per balance point (default
+	// len(load)/4 + 1: migration has a cost, so rebalance incrementally).
+	MaxMoves int
+	// Tolerance is the max-over-mean rank load below which the placement
+	// is left alone (default 1.05).
+	Tolerance float64
+}
+
+// Rebalance implements Balancer.
+func (b *GreedyBalancer) Rebalance(load []float64, rank []int, ranks int) []Move {
+	if ranks < 2 || len(load) < 2 {
+		return nil
+	}
+	maxMoves := b.MaxMoves
+	if maxMoves <= 0 {
+		maxMoves = len(load)/4 + 1
+	}
+	tol := b.Tolerance
+	if tol <= 1 {
+		tol = 1.05
+	}
+	cur := append([]int(nil), rank...)
+	rl := make([]float64, ranks)
+	total := 0.0
+	for i, l := range load {
+		if cur[i] >= 0 && cur[i] < ranks {
+			rl[cur[i]] += l
+			total += l
+		}
+	}
+	mean := total / float64(ranks)
+	var moves []Move
+	for len(moves) < maxMoves {
+		hi, lo := 0, 0
+		for r := 1; r < ranks; r++ {
+			if rl[r] > rl[hi] {
+				hi = r
+			}
+			if rl[r] < rl[lo] {
+				lo = r
+			}
+		}
+		if rl[hi] <= mean*tol {
+			break
+		}
+		gap := rl[hi] - rl[lo]
+		best, bestLoad := -1, 0.0
+		for i, l := range load {
+			if cur[i] != hi {
+				continue
+			}
+			if l < gap && l > bestLoad {
+				best, bestLoad = i, l
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cur[best] = lo
+		rl[hi] -= bestLoad
+		rl[lo] += bestLoad
+		moves = append(moves, Move{Chare: best, To: lo})
+	}
+	return moves
+}

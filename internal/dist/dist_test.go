@@ -1,0 +1,273 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"nustencil/internal/grid"
+	"nustencil/internal/stencil"
+)
+
+// fillTest gives every cell a position-dependent value so any ownership
+// or halo mistake shows up as a bit difference.
+func fillTest(g *grid.Grid) {
+	g.FillFunc(func(pt []int) float64 {
+		v := 0.0
+		for k, p := range pt {
+			v = v*31 + float64(p*(k+7))
+		}
+		return v*0.001 - 2
+	})
+}
+
+// TestLatticePartition pins the overdecomposition property: every
+// interior cell belongs to exactly one chare box, every chare box is
+// non-empty, and each chare's neighbor reads within the stencil order
+// are covered by its ghost ring (owned.Grow(order) stays inside the
+// grid bounds).
+func TestLatticePartition(t *testing.T) {
+	shapes := []struct {
+		dims   []int
+		order  int
+		chares int
+	}{
+		{dims: []int{20, 17, 13}, order: 1, chares: 12},
+		{dims: []int{9, 40}, order: 2, chares: 8},
+		{dims: []int{64}, order: 1, chares: 5},
+		{dims: []int{5, 5, 5}, order: 1, chares: 64}, // more chares than cells absorb
+	}
+	for _, sh := range shapes {
+		t.Run(fmt.Sprintf("%v-o%d-c%d", sh.dims, sh.order, sh.chares), func(t *testing.T) {
+			g := grid.New(sh.dims)
+			interior := g.Interior(sh.order)
+			l := MakeLattice(interior, sh.chares)
+			n := l.NumChares()
+			if n < 1 || n > sh.chares {
+				t.Fatalf("NumChares = %d, want in [1, %d]", n, sh.chares)
+			}
+			owners := make([]int, g.Len())
+			for i := range owners {
+				owners[i] = -1
+			}
+			for i := 0; i < n; i++ {
+				b := l.Box(i)
+				if b.Empty() {
+					t.Fatalf("chare %d box %v is empty", i, b)
+				}
+				grown := b.Grow(sh.order)
+				for k := range sh.dims {
+					if grown.Lo[k] < 0 || grown.Hi[k] > sh.dims[k] {
+						t.Fatalf("chare %d ghost region %v leaves the grid %v", i, grown, sh.dims)
+					}
+				}
+				g.ForEachRow(b, func(off, length int, _ []int) {
+					for j := off; j < off+length; j++ {
+						if owners[j] != -1 {
+							t.Fatalf("cell %d owned by chares %d and %d", j, owners[j], i)
+						}
+						owners[j] = i
+					}
+				})
+			}
+			covered := 0
+			g.ForEachRow(interior, func(off, length int, _ []int) {
+				for j := off; j < off+length; j++ {
+					if owners[j] == -1 {
+						t.Fatalf("interior cell %d owned by no chare", j)
+					}
+					covered++
+				}
+			})
+			if int64(covered) != interior.Size() {
+				t.Fatalf("covered %d cells, interior has %d", covered, interior.Size())
+			}
+		})
+	}
+}
+
+// runSingle advances a copy of the grid with the plain per-step kernel —
+// the bit-exactness reference.
+func runSingle(g *grid.Grid, st *stencil.Stencil, T int) *grid.Grid {
+	ref := g.Clone()
+	op := stencil.NewOp(st, ref)
+	for t := 0; t < T; t++ {
+		op.ApplyBox(ref.Bounds(), t)
+	}
+	return ref
+}
+
+// TestRuntimeBitExact pins the tentpole's correctness bar at the dist
+// level: a multi-rank, overdecomposed run with per-step halo exchange
+// produces bit-identical cell values to the single-process sweep, across
+// rank counts, chare factors, worker pools, and segment lengths.
+func TestRuntimeBitExact(t *testing.T) {
+	cases := []struct {
+		name  string
+		dims  []int
+		opts  Options
+		T     int
+		order int
+	}{
+		{name: "2ranks", dims: []int{18, 15, 14}, opts: Options{Ranks: 2, ChareFactor: 3, WorkersPerRank: 2}, T: 6, order: 1},
+		{name: "3ranks-lb", dims: []int{20, 17, 13}, opts: Options{Ranks: 3, ChareFactor: 4, WorkersPerRank: 2, LBPeriod: 2}, T: 7, order: 1},
+		{name: "2d-order2", dims: []int{30, 26}, opts: Options{Ranks: 2, ChareFactor: 5, WorkersPerRank: 1}, T: 5, order: 2},
+		{name: "1d", dims: []int{97}, opts: Options{Ranks: 4, ChareFactor: 2, WorkersPerRank: 1}, T: 4, order: 1},
+		{name: "more-ranks-than-chares-absorb", dims: []int{5, 5, 5}, opts: Options{Ranks: 8, ChareFactor: 4, WorkersPerRank: 1}, T: 3, order: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := stencil.NewStar(len(tc.dims), tc.order)
+			g := grid.New(tc.dims)
+			fillTest(g)
+			ref := runSingle(g, st, tc.T)
+
+			rt, err := New(Problem{Grid: g, Stencil: st}, tc.opts)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			res, err := rt.Run(context.Background(), tc.T)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if g.MaxAbsDiff(tc.T, ref, tc.T) != 0 {
+				t.Fatalf("distributed result differs from single-process sweep")
+			}
+			wantUpdates := int64(tc.T)
+			for _, d := range tc.dims {
+				wantUpdates *= int64(d - 2*tc.order)
+			}
+			if res.Updates != wantUpdates {
+				t.Fatalf("Updates = %d, want %d", res.Updates, wantUpdates)
+			}
+		})
+	}
+}
+
+// TestHaloTrafficMatchesModel pins the by-construction agreement between
+// the transport's measured inter-rank halo bytes and the analytic
+// NetHaloWordsPerStep volume: exactly one exchange phase per timestep
+// except after the last.
+func TestHaloTrafficMatchesModel(t *testing.T) {
+	dims := []int{20, 17, 13}
+	const order, ranks, factor, T = 1, 3, 4, 5
+	st := stencil.NewStar(len(dims), order)
+	g := grid.New(dims)
+	fillTest(g)
+
+	rt, err := New(Problem{Grid: g, Stencil: st}, Options{Ranks: ranks, ChareFactor: factor, WorkersPerRank: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := rt.Run(context.Background(), T)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ext := make([]int, len(dims))
+	for k, d := range dims {
+		ext[k] = d - 2*order
+	}
+	want := 8 * NetHaloWordsPerStep(ext, order, ranks, ranks*factor) * (T - 1)
+	if res.Net.HaloBytes != want {
+		t.Fatalf("measured halo bytes %d, model says %d", res.Net.HaloBytes, want)
+	}
+	if res.Net.MigrationBytes != 0 || res.Net.Migrations != 0 {
+		t.Fatalf("unexpected migration traffic without a balance period: %+v", res.Net)
+	}
+	if res.Net.Bytes() != want {
+		t.Fatalf("Bytes() = %d, want %d", res.Net.Bytes(), want)
+	}
+}
+
+// moveBalancer deterministically bounces one chare between ranks — the
+// migration-machinery probe.
+type moveBalancer struct{ next int }
+
+func (b *moveBalancer) Rebalance(load []float64, rank []int, ranks int) []Move {
+	b.next = (b.next + 1) % ranks
+	return []Move{{Chare: 0, To: b.next}}
+}
+
+// TestMigrationBitExact forces migrations mid-run and pins that results
+// stay bit-identical and the migration traffic is accounted.
+func TestMigrationBitExact(t *testing.T) {
+	dims := []int{16, 15, 14}
+	const T = 8
+	st := stencil.NewStar(len(dims), 1)
+	g := grid.New(dims)
+	fillTest(g)
+	ref := runSingle(g, st, T)
+
+	bal := &moveBalancer{}
+	rt, err := New(Problem{Grid: g, Stencil: st}, Options{
+		Ranks: 2, ChareFactor: 4, WorkersPerRank: 2,
+		LBPeriod: 2, Balancer: bal,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := rt.Run(context.Background(), T)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Migrations == 0 {
+		t.Fatalf("expected forced migrations, got none")
+	}
+	if res.Net.MigrationBytes == 0 {
+		t.Fatalf("migrations happened but no migration bytes accounted: %+v", res.Net)
+	}
+	if g.MaxAbsDiff(T, ref, T) != 0 {
+		t.Fatalf("migrated run differs from single-process sweep")
+	}
+}
+
+// TestRunCancellation pins that a cancelled distributed run reports the
+// context error and leaves the global grid untouched.
+func TestRunCancellation(t *testing.T) {
+	dims := []int{16, 15, 14}
+	st := stencil.NewStar(len(dims), 1)
+	g := grid.New(dims)
+	fillTest(g)
+	before := g.Clone()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rt, err := New(Problem{Grid: g, Stencil: st}, Options{Ranks: 2, WorkersPerRank: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := rt.Run(ctx, 50); err == nil {
+		t.Fatalf("Run with a cancelled context succeeded")
+	}
+	if g.MaxAbsDiff(0, before, 0) != 0 || g.MaxAbsDiff(1, before, 1) != 0 {
+		t.Fatalf("failed run modified the global grid")
+	}
+}
+
+// TestGreedyBalancer pins the balancer's contract: it narrows the
+// max-min spread, never moves more than MaxMoves, and leaves a balanced
+// placement alone.
+func TestGreedyBalancer(t *testing.T) {
+	b := &GreedyBalancer{}
+	load := []float64{10, 1, 1, 1, 1, 1}
+	rank := []int{0, 0, 0, 1, 1, 1}
+	moves := b.Rebalance(load, rank, 2)
+	if len(moves) == 0 {
+		t.Fatalf("no moves for a 4x rank imbalance")
+	}
+	for _, mv := range moves {
+		if mv.Chare == 0 {
+			t.Fatalf("moved the heaviest chare (load larger than the gap): %+v", moves)
+		}
+		if rank[mv.Chare] != 0 || mv.To != 1 {
+			t.Fatalf("unexpected move %+v", mv)
+		}
+	}
+
+	if moves := b.Rebalance([]float64{1, 1, 1, 1}, []int{0, 0, 1, 1}, 2); len(moves) != 0 {
+		t.Fatalf("balanced placement still produced moves %+v", moves)
+	}
+	if moves := b.Rebalance([]float64{5, 5}, []int{0, 0}, 1); len(moves) != 0 {
+		t.Fatalf("single-rank placement produced moves %+v", moves)
+	}
+}

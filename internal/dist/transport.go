@@ -1,0 +1,158 @@
+package dist
+
+import "sync"
+
+// MsgKind discriminates transport messages.
+type MsgKind uint8
+
+const (
+	// HaloMsg carries one face's ghost-zone values for one timestep.
+	HaloMsg MsgKind = iota
+)
+
+// Msg is one transport message. Halo payloads are packed row-major over
+// the face slab (the receiver unpacks with the same traversal, so the
+// wire format is deterministic).
+type Msg struct {
+	Kind MsgKind
+	// From and To are rank indices.
+	From, To int
+	// Chare is the destination chare.
+	Chare int
+	// Step is the timestep whose reads this halo feeds: the payload was
+	// extracted from the sender's buffer of parity Step%2 and lands in
+	// the receiver's ghost slab of the same parity.
+	Step int
+	// Dim and Side name the receiver-side ghost slab (Side -1 is the low
+	// face, +1 the high face).
+	Dim, Side int
+	Data      []float64
+}
+
+// Stats is a snapshot of a transport's inter-rank traffic. Payload
+// bytes only — 8 bytes per float64 word — so measured halo traffic is
+// directly comparable to the memsim network model's word counts.
+type Stats struct {
+	// Msgs counts inter-rank messages (halo sends).
+	Msgs int64
+	// HaloBytes counts inter-rank halo payload bytes.
+	HaloBytes int64
+	// MigrationBytes counts chare-state bytes moved by migrations.
+	MigrationBytes int64
+	// Migrations counts chare moves between ranks.
+	Migrations int64
+}
+
+// Bytes is the total inter-rank volume: halos plus migrations.
+func (s Stats) Bytes() int64 { return s.HaloBytes + s.MigrationBytes }
+
+// Transport moves messages between ranks. Send is asynchronous and
+// never blocks the sender (mailboxes are unbounded: the step-skew bound
+// of the halo protocol caps the backlog at one exchange phase per
+// neighbor, so unboundedness cannot run away); Recv blocks until a
+// message for the rank arrives or the transport closes. Same-rank halo
+// delivery bypasses the transport entirely, so every Send is an
+// inter-rank transfer and counts toward Stats.
+type Transport interface {
+	Send(m Msg)
+	// Recv returns the next message for rank; ok is false after Close
+	// drains the mailbox.
+	Recv(rank int) (m Msg, ok bool)
+	// CountMigration records a chare-state transfer between ranks. The
+	// in-process transport moves no bytes (ranks share an address
+	// space), but the accounting keeps migration traffic visible to the
+	// network bound exactly as an RPC transport's serialization would.
+	CountMigration(from, to int, bytes int64)
+	Close()
+	Stats() Stats
+}
+
+// LocalTransport is the in-process Transport: one mutex-guarded
+// unbounded mailbox per rank.
+type LocalTransport struct {
+	mu    sync.Mutex
+	stats Stats
+	boxes []*mailbox
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []Msg
+	head   int
+	closed bool
+}
+
+// NewLocalTransport builds a transport connecting ranks in-process
+// mailboxes.
+func NewLocalTransport(ranks int) *LocalTransport {
+	t := &LocalTransport{boxes: make([]*mailbox, ranks)}
+	for i := range t.boxes {
+		b := &mailbox{}
+		b.cond = sync.NewCond(&b.mu)
+		t.boxes[i] = b
+	}
+	return t
+}
+
+// Send enqueues m for rank m.To and records its payload volume.
+func (t *LocalTransport) Send(m Msg) {
+	t.mu.Lock()
+	t.stats.Msgs++
+	t.stats.HaloBytes += 8 * int64(len(m.Data))
+	t.mu.Unlock()
+
+	b := t.boxes[m.To]
+	b.mu.Lock()
+	b.q = append(b.q, m)
+	b.cond.Signal()
+	b.mu.Unlock()
+}
+
+// Recv blocks until a message for rank arrives. After Close it drains
+// the remaining backlog, then reports ok=false.
+func (t *LocalTransport) Recv(rank int) (Msg, bool) {
+	b := t.boxes[rank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.head >= len(b.q) && !b.closed {
+		b.cond.Wait()
+	}
+	if b.head >= len(b.q) {
+		return Msg{}, false
+	}
+	m := b.q[b.head]
+	b.q[b.head] = Msg{} // release the payload
+	b.head++
+	if b.head == len(b.q) {
+		b.q = b.q[:0]
+		b.head = 0
+	}
+	return m, true
+}
+
+// CountMigration records migration traffic in the stats.
+func (t *LocalTransport) CountMigration(from, to int, bytes int64) {
+	t.mu.Lock()
+	t.stats.Migrations++
+	t.stats.MigrationBytes += bytes
+	t.mu.Unlock()
+}
+
+// Close wakes every blocked Recv; each drains its backlog and then
+// reports ok=false.
+func (t *LocalTransport) Close() {
+	for _, b := range t.boxes {
+		b.mu.Lock()
+		b.closed = true
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+// Stats snapshots the traffic counters.
+func (t *LocalTransport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}

@@ -21,6 +21,9 @@ type Spec struct {
 	PeakDPAgg float64
 	// RemoteFactor is the interconnect efficiency (default 0.65).
 	RemoteFactor float64
+	// NetLinkGBs is the per-node network-link bandwidth for multi-rank
+	// runs (default DefaultNetLinkGBs when zero).
+	NetLinkGBs float64
 }
 
 // BandwidthPoint is one measured point of the bandwidth scaling curve.
@@ -64,6 +67,7 @@ func New(spec Spec) (*Machine, error) {
 		SysBandwidthAgg: last.GBps,
 		PeakDPAgg:       spec.PeakDPAgg,
 		RemoteFactor:    spec.RemoteFactor,
+		NetLinkGBs:      spec.NetLinkGBs,
 	}
 	if m.RemoteFactor <= 0 || m.RemoteFactor > 1 {
 		m.RemoteFactor = 0.65

@@ -53,7 +53,19 @@ type Machine struct {
 	// interconnect relative to a local access stream (HyperTransport /
 	// QPI penalty).
 	RemoteFactor float64
+
+	// NetLinkGBs is the per-node network-link bandwidth in GB/s for
+	// distributed (multi-rank) runs — the InfiniBand-class fabric that
+	// would connect several of these boxes. Zero falls back to
+	// DefaultNetLinkGBs, so host-derived and custom machines price
+	// network traffic without declaring a fabric.
+	NetLinkGBs float64
 }
+
+// DefaultNetLinkGBs is the per-node network-link bandwidth assumed when
+// a machine model does not declare one: 4 GB/s, a QDR InfiniBand link
+// of the paper's era.
+const DefaultNetLinkGBs = 4.0
 
 type scalePoint struct {
 	cores  int
@@ -82,6 +94,7 @@ func Opteron8222() *Machine {
 			{1, 1.0}, {2, 1.6}, {4, 2.5}, {8, 4.1}, {16, 6.5},
 		},
 		RemoteFactor: 0.6,
+		NetLinkGBs:   2.0, // DDR InfiniBand, the Opteron generation's fabric
 	}
 }
 
@@ -109,6 +122,7 @@ func XeonX7550() *Machine {
 			{1, 1.0}, {2, 2.0}, {4, 3.4}, {8, 5.1}, {16, 8.4}, {32, 13.7},
 		},
 		RemoteFactor: 0.65,
+		NetLinkGBs:   4.0, // QDR InfiniBand, the Beckton generation's fabric
 	}
 }
 
@@ -218,6 +232,22 @@ func (m *Machine) PeakDP(n int) float64 {
 // allocation concentrates pages on one node.
 func (m *Machine) NodeControllerBandwidth() float64 {
 	return m.SysBandwidth(m.CoresPerSocket)
+}
+
+// NetworkBandwidth returns the aggregate rate in GB/s at which ranks
+// simulated nodes can exchange halo traffic: one full-duplex link per
+// node. This is the bound a distributed (multi-rank) run's ghost-zone
+// exchange prices against; a machine without a declared fabric uses
+// DefaultNetLinkGBs per link.
+func (m *Machine) NetworkBandwidth(ranks int) float64 {
+	if ranks < 1 {
+		ranks = 1
+	}
+	link := m.NetLinkGBs
+	if link <= 0 {
+		link = DefaultNetLinkGBs
+	}
+	return link * float64(ranks)
 }
 
 // InterconnectBandwidth returns the aggregate rate in GB/s at which n cores

@@ -32,6 +32,15 @@ type Workload struct {
 	Dims      []int // full grid dimensions including the boundary ring
 	Timesteps int
 	Cores     int
+	// Ranks, when > 1, marks a distributed run: the grid is
+	// overdecomposed into Chares blocks spread over Ranks simulated
+	// nodes with per-step ghost-zone exchange, and the network bound
+	// (Net) prices the inter-rank halo bytes. Zero or one models the
+	// single-process run with no network term.
+	Ranks int
+	// Chares is the overdecomposition block count (default
+	// Ranks·dist.DefaultChareFactor when zero).
+	Chares int
 }
 
 // InteriorExtents returns the updatable extents (dims shrunk by 2·order).
@@ -119,13 +128,16 @@ type BoundTerms struct {
 	Even   float64 // evenly placed main-memory traffic (SysBand)
 	Ctrl   float64 // the hottest node's memory controller
 	Remote float64 // interconnect crossings at the remote-access penalty
+	Net    float64 // inter-rank halo bytes over the network links (multi-rank runs)
 }
 
 // Binding returns the binding term's seconds and bottleneck name
-// ("compute", "llc", "memory", "controller" or "interconnect"). Ties keep
-// the earlier term of the composition: compute before llc before the
-// memory terms, and even placement before controller before interconnect —
-// the strict-greater chain of the paper's bottleneck reasoning.
+// ("compute", "llc", "memory", "controller", "interconnect" or
+// "network"). Ties keep the earlier term of the composition: compute
+// before llc before the memory terms, even placement before controller
+// before interconnect before network — the strict-greater chain of the
+// paper's bottleneck reasoning, extended by the distributed layer's
+// network bound.
 func (b BoundTerms) Binding() (float64, string) {
 	tMem, memName := b.Even, "memory"
 	if b.Ctrl > tMem {
@@ -133,6 +145,9 @@ func (b BoundTerms) Binding() (float64, string) {
 	}
 	if b.Remote > tMem {
 		tMem, memName = b.Remote, "interconnect"
+	}
+	if b.Net > tMem {
+		tMem, memName = b.Net, "network"
 	}
 	t, name := b.Comp, "compute"
 	if b.LLC > t {
@@ -150,7 +165,7 @@ func (b BoundTerms) Binding() (float64, string) {
 func (b BoundTerms) Margin() float64 {
 	t, _ := b.Binding()
 	runner, skipped := 0.0, false
-	for _, v := range [...]float64{b.Comp, b.LLC, b.Even, b.Ctrl, b.Remote} {
+	for _, v := range [...]float64{b.Comp, b.LLC, b.Even, b.Ctrl, b.Remote, b.Net} {
 		if v == t && !skipped {
 			skipped = true
 			continue
@@ -186,6 +201,7 @@ func Terms(m Model, w *Workload) BoundTerms {
 		Even:   mainBytes / (mach.SysBandwidth(n) * machine.GB),
 		Ctrl:   perNode / (mach.NodeControllerBandwidth() * machine.GB),
 		Remote: mainBytes * (1 - tr.LocalFrac) / (mach.InterconnectBandwidth(n) * machine.GB),
+		Net:    U * NetWordsPerUpdate(w) * 8 / (mach.NetworkBandwidth(w.Ranks) * machine.GB),
 	}
 }
 

@@ -1,0 +1,37 @@
+package memsim
+
+import (
+	"nustencil/internal/dist"
+)
+
+// NetWordsPerUpdate returns the float64 words per point update that a
+// distributed run pushes across the inter-rank network: the directed
+// halo faces of the chare lattice that cross a rank boundary, exchanged
+// once per timestep except after the last step (the runtime skips the
+// final push because no step consumes it). Single-process workloads
+// (Ranks <= 1) contribute nothing.
+//
+// The geometry is computed by dist.NetHaloWordsPerStep on the same
+// lattice and block placement the runtime builds, so the model's
+// network bytes equal the transport's measured halo bytes exactly —
+// attribution and prediction cannot disagree on the network term.
+func NetWordsPerUpdate(w *Workload) float64 {
+	if w.Ranks <= 1 || w.Timesteps <= 1 {
+		return 0
+	}
+	chares := w.Chares
+	if chares <= 0 {
+		chares = w.Ranks * dist.DefaultChareFactor
+	}
+	ext := w.InteriorExtents()
+	stepUpdates := int64(1)
+	for _, e := range ext {
+		stepUpdates *= int64(e)
+	}
+	if stepUpdates <= 0 {
+		return 0
+	}
+	per := dist.NetHaloWordsPerStep(ext, w.Stencil.Order, w.Ranks, chares)
+	return float64(per) * float64(w.Timesteps-1) /
+		(float64(stepUpdates) * float64(w.Timesteps))
+}

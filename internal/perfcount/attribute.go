@@ -18,11 +18,12 @@ type Attribution struct {
 	Machine string `json:"machine"`
 	Cores   int    `json:"cores"`
 	// Binding names the bound that binds: "PeakDP", "LL1Band0C",
-	// "SysBandIC", "SysBand0C", "Controller" or "Interconnect".
+	// "SysBandIC", "SysBand0C", "Controller", "Interconnect" or — for
+	// multi-rank runs — "NetBand".
 	Binding string `json:"binding"`
 	// Bottleneck is the same verdict in memsim.Predict's vocabulary
-	// ("compute", "llc", "memory", "controller", "interconnect"), for
-	// cross-checking against the cost model's prediction.
+	// ("compute", "llc", "memory", "controller", "interconnect",
+	// "network"), for cross-checking against the cost model's prediction.
 	Bottleneck string `json:"bottleneck"`
 	// Margin is the binding bound's seconds over the runner-up's (1.0 = a
 	// tie; the higher, the more decisive).
@@ -70,6 +71,9 @@ func Attribute(c *Counters, mach *machine.Machine, st *stencil.Stencil, cores in
 		Ctrl:   float64(hotBytes) / (mach.NodeControllerBandwidth() * machine.GB),
 		Remote: float64(c.RemoteBytes()) / (mach.InterconnectBandwidth(n) * machine.GB),
 	}
+	if c.Ranks > 1 {
+		terms.Net = float64(c.NetworkBytes) / (mach.NetworkBandwidth(c.Ranks) * machine.GB)
+	}
 	sec, name := terms.Binding()
 	evenName := evenBoundName(c, st)
 	boundOf := map[string]string{
@@ -78,6 +82,7 @@ func Attribute(c *Counters, mach *machine.Machine, st *stencil.Stencil, cores in
 		"memory":       evenName,
 		"controller":   "Controller",
 		"interconnect": "Interconnect",
+		"network":      "NetBand",
 	}
 	bounds := []BoundCost{
 		{Bound: "PeakDP", Seconds: terms.Comp},
@@ -85,6 +90,9 @@ func Attribute(c *Counters, mach *machine.Machine, st *stencil.Stencil, cores in
 		{Bound: evenName, Seconds: terms.Even},
 		{Bound: "Controller", Seconds: terms.Ctrl},
 		{Bound: "Interconnect", Seconds: terms.Remote},
+	}
+	if c.Ranks > 1 {
+		bounds = append(bounds, BoundCost{Bound: "NetBand", Seconds: terms.Net})
 	}
 	sort.SliceStable(bounds, func(i, j int) bool { return bounds[i].Seconds > bounds[j].Seconds })
 	return Attribution{

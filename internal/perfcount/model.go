@@ -43,6 +43,10 @@ func FromModel(m memsim.Model, w *memsim.Workload) *Counters {
 		PerWorker: make([]WorkerCounters, n),
 		PerNode:   make([]NodeCounters, nodes),
 	}
+	if w.Ranks > 1 {
+		c.Ranks = w.Ranks
+		c.NetworkBytes = int64(math.Round(float64(U) * memsim.NetWordsPerUpdate(w) * 8))
+	}
 	for i := range c.PerNode {
 		c.PerNode[i].Node = i
 	}

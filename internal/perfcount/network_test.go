@@ -1,0 +1,103 @@
+package perfcount
+
+import (
+	"math"
+	"testing"
+
+	"nustencil/internal/machine"
+	"nustencil/internal/memsim"
+	"nustencil/internal/stencil"
+)
+
+// distWorkload is a multi-rank workload on a machine whose network link
+// can be pinched to force the network bound.
+func distWorkload(m *machine.Machine, ranks int) *memsim.Workload {
+	return &memsim.Workload{
+		Machine:   m,
+		Stencil:   stencil.NewStar(3, 1),
+		Dims:      []int{66, 66, 66},
+		Timesteps: 16,
+		Cores:     8,
+		Ranks:     ranks,
+	}
+}
+
+// TestNetworkAttributionAgreesWithPredict is the tentpole's acceptance
+// gate for the modeling layer: on a multi-rank workload, Attribute over
+// model-predicted counters names the same bottleneck as memsim.Predict —
+// including when a starved network link makes that bottleneck "network"
+// — because both run the identical BoundTerms.Binding chain.
+func TestNetworkAttributionAgreesWithPredict(t *testing.T) {
+	links := []float64{0, 1e-6, 4.0} // default fabric, starved, QDR
+	for _, link := range links {
+		m := machine.XeonX7550()
+		m.NetLinkGBs = link
+		for name, model := range memsim.Models() {
+			w := distWorkload(m, 2)
+			res := memsim.Predict(model, w)
+			c := FromModel(model, w)
+			attr := Attribute(c, m, w.Stencil, w.Cores, 0)
+			if attr.Bottleneck != res.Traffic.Bottleneck {
+				t.Errorf("link %g %s: attribution says %q (%s), Predict says %q",
+					link, name, attr.Bottleneck, attr.Binding, res.Traffic.Bottleneck)
+			}
+			if len(attr.Bounds) != 6 {
+				t.Fatalf("link %g %s: %d bounds for a 2-rank run, want 6", link, name, len(attr.Bounds))
+			}
+			if res.Traffic.Margin > 0 {
+				rel := math.Abs(attr.Margin-res.Traffic.Margin) / res.Traffic.Margin
+				if rel > 1e-6 {
+					t.Errorf("link %g %s: margin %.9f, Predict margin %.9f",
+						link, name, attr.Margin, res.Traffic.Margin)
+				}
+			}
+		}
+		// A starved link must actually produce the network verdict, or the
+		// agreement above would be vacuous.
+		if link == 1e-6 {
+			w := distWorkload(m, 2)
+			attr := Attribute(FromModel(memsim.Models()["NaiveSSE"], w), m, w.Stencil, w.Cores, 0)
+			if attr.Bottleneck != "network" || attr.Binding != "NetBand" {
+				t.Fatalf("starved link: bottleneck %q binding %q, want network/NetBand",
+					attr.Bottleneck, attr.Binding)
+			}
+		}
+	}
+}
+
+// TestNetworkCountersGating pins that single-process counters are
+// untouched by the network extension: no Ranks, no NetworkBytes, no
+// NetBand row.
+func TestNetworkCountersGating(t *testing.T) {
+	m := machine.XeonX7550()
+	w := distWorkload(m, 1)
+	c := FromModel(memsim.Models()["NaiveSSE"], w)
+	if c.Ranks != 0 || c.NetworkBytes != 0 {
+		t.Fatalf("single-process counters carry network fields: ranks %d bytes %d", c.Ranks, c.NetworkBytes)
+	}
+	attr := Attribute(c, m, w.Stencil, w.Cores, 0)
+	if len(attr.Bounds) != 5 {
+		t.Fatalf("%d bounds for a single-process run, want 5", len(attr.Bounds))
+	}
+	for _, b := range attr.Bounds {
+		if b.Bound == "NetBand" {
+			t.Fatalf("single-process attribution lists NetBand")
+		}
+	}
+}
+
+// TestFromModelNetworkBytes pins the predicted network volume against
+// the analytic per-step halo words: FromModel must charge exactly one
+// exchange phase per timestep except after the last.
+func TestFromModelNetworkBytes(t *testing.T) {
+	m := machine.XeonX7550()
+	w := distWorkload(m, 3)
+	c := FromModel(memsim.Models()["NaiveSSE"], w)
+	if c.Ranks != 3 {
+		t.Fatalf("Ranks = %d, want 3", c.Ranks)
+	}
+	want := int64(math.Round(float64(w.Updates()) * memsim.NetWordsPerUpdate(w) * 8))
+	if c.NetworkBytes != want || want <= 0 {
+		t.Fatalf("NetworkBytes = %d, want %d (> 0)", c.NetworkBytes, want)
+	}
+}

@@ -17,7 +17,8 @@
 // On top sits the attribution engine (Attribute): price a run's counters
 // against a machine model's bandwidth hierarchy and name the analytic
 // bound that binds it — PeakDP, LL1Band0C, SysBandIC, SysBand0C, the
-// hottest node's controller, or the interconnect — and by what margin.
+// hottest node's controller, the interconnect, or (for multi-rank runs)
+// the network links — and by what margin.
 // This is the paper's figure-by-figure bottleneck reasoning turned into a
 // checkable report: FromModel predicts the counters a workload would
 // produce, and attribution on those counters reproduces memsim.Predict's
@@ -83,6 +84,13 @@ type Counters struct {
 	PerWorker []WorkerCounters `json:"per_worker"`
 	PerNode   []NodeCounters   `json:"per_node"`
 	Samples   []Sample         `json:"samples,omitempty"`
+	// Ranks is the distributed run's simulated node count (0 or 1 for
+	// single-process runs, which have no network traffic).
+	Ranks int `json:"ranks,omitempty"`
+	// NetworkBytes is the inter-rank halo traffic of a distributed run:
+	// the payload bytes the transport carried between ranks. Attribute
+	// prices it against the machine's network links when Ranks > 1.
+	NetworkBytes int64 `json:"network_bytes,omitempty"`
 }
 
 // Tiles returns the total tile executions.

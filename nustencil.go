@@ -153,6 +153,20 @@ type Config struct {
 	// segment) — a tuned Setting plugs in directly. Zero or absent values
 	// keep the scheme's defaults; unknown keys are rejected by NewSolver.
 	SchemeParams map[string]int `json:"scheme_params,omitempty"`
+	// Ranks, when > 1, executes on the distributed layer: the grid splits
+	// into many more blocks (chares) than workers, the blocks spread over
+	// Ranks in-process simulated nodes, and neighbors exchange halo slabs
+	// through a transport every timestep. Results are bit-exact with the
+	// single-process path. Incompatible with Periodic and StaticSchedule;
+	// the tiling scheme is not consulted for execution (each chare runs
+	// plain per-step sweeps) but still names the run. 0 or 1 selects the
+	// ordinary single-process path.
+	Ranks int `json:"ranks,omitempty"`
+	// ChareFactor is the overdecomposition ratio of a distributed run:
+	// the grid splits into Ranks·ChareFactor chares (default 4). More
+	// chares per rank give migration finer grains at more halo surface.
+	// Consulted only when Ranks > 1.
+	ChareFactor int `json:"chare_factor,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -194,6 +208,9 @@ type Report struct {
 	// Imbalance is max/mean of per-worker busy time (1.0 = perfectly
 	// balanced, 0 if nothing ran).
 	Imbalance float64
+	// Migrations counts chare migrations between ranks on a distributed
+	// run (Config.Ranks > 1); always 0 on the single-process path.
+	Migrations int64
 	// FlopsPerUpdate converts updates to flops.
 	FlopsPerUpdate int
 	// Sched carries per-worker scheduler counters for dependency-scheduled
@@ -257,6 +274,9 @@ type Solver struct {
 	// engine — the fault-injection seam tests use to prove panic isolation
 	// and poisoning through the public API.
 	execWrap func(engine.Exec) engine.Exec
+	// distTune, when non-nil, tunes the distributed path beyond the
+	// Config surface — the seam migration and transport tests use.
+	distTune *distTuning
 }
 
 // Err reports the solver's poison state: nil while the grid state is
@@ -289,6 +309,20 @@ func NewSolver(cfg Config) (*Solver, error) {
 	}
 	if cfg.Periodic && cfg.Scheme != Naive {
 		return nil, fmt.Errorf("nustencil: periodic boundaries require the Naive scheme, got %s", cfg.Scheme)
+	}
+	if cfg.Ranks < 0 {
+		return nil, fmt.Errorf("nustencil: negative ranks %d", cfg.Ranks)
+	}
+	if cfg.ChareFactor < 0 {
+		return nil, fmt.Errorf("nustencil: negative chare factor %d", cfg.ChareFactor)
+	}
+	if cfg.Ranks > 1 {
+		if cfg.Periodic {
+			return nil, errors.New("nustencil: distributed runs (Ranks > 1) do not support periodic boundaries")
+		}
+		if cfg.StaticSchedule {
+			return nil, errors.New("nustencil: distributed runs (Ranks > 1) do not support StaticSchedule")
+		}
 	}
 	sch, err := schemeFor(cfg.Scheme, cfg.SchemeParams)
 	if err != nil {
@@ -542,6 +576,9 @@ func (s *Solver) runSteps(ctx context.Context, timesteps int, traced bool, count
 	if timesteps == 0 {
 		rep.UpdatesPerWorker = make([]int64, cfg.Workers)
 		return rep, nil, nil, nil
+	}
+	if cfg.Ranks > 1 {
+		return s.runDistributed(ctx, timesteps, traced, counted, rep)
 	}
 	var wrap []int
 	if cfg.Periodic {

@@ -291,10 +291,12 @@ type BottleneckReport struct {
 	Machine string `json:"machine"`
 	Cores   int    `json:"cores"`
 	// Binding is the binding bound: "PeakDP", "LL1Band0C", "SysBandIC",
-	// "SysBand0C", "Controller" or "Interconnect".
+	// "SysBand0C", "Controller", "Interconnect" or (distributed runs
+	// only) "NetBand".
 	Binding string `json:"binding"`
 	// Bottleneck is the same verdict in the cost model's vocabulary
-	// ("compute", "llc", "memory", "controller", "interconnect").
+	// ("compute", "llc", "memory", "controller", "interconnect",
+	// "network").
 	Bottleneck string `json:"bottleneck"`
 	// Margin is the binding bound's seconds over the runner-up's (1.0 = a
 	// tie; the higher, the more decisive).

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nustencil"
+)
+
+// TestRetryAfterFrom pins the pure backlog estimate: optimistic with no
+// drain history, proportional to queue depth over drain rate with one,
+// and clamped to [1s, 30s] whole seconds.
+func TestRetryAfterFrom(t *testing.T) {
+	now := time.Now()
+	drainsAt := func(period time.Duration, n int) []time.Time {
+		ds := make([]time.Time, n)
+		for i := range ds {
+			ds[i] = now.Add(-time.Duration(n-i) * period)
+		}
+		return ds
+	}
+
+	if got := retryAfterFrom(10, nil, now); got != time.Second {
+		t.Errorf("no history: %v, want 1s", got)
+	}
+	if got := retryAfterFrom(10, drainsAt(time.Millisecond, 1), now); got != time.Second {
+		t.Errorf("single completion: %v, want 1s", got)
+	}
+	if got := retryAfterFrom(0, drainsAt(time.Second, 8), now); got != time.Second {
+		t.Errorf("empty queue: %v, want 1s", got)
+	}
+
+	// 8 completions over 8s → 1 job/s; 5 queued → 5s.
+	if got := retryAfterFrom(5, drainsAt(time.Second, 8), now); got != 5*time.Second {
+		t.Errorf("5 queued at 1 job/s: %v, want 5s", got)
+	}
+	// Fast drains round up to the 1s floor.
+	if got := retryAfterFrom(5, drainsAt(time.Millisecond, 8), now); got != time.Second {
+		t.Errorf("fast drain: %v, want 1s floor", got)
+	}
+	// Slow drains clamp at 30s.
+	if got := retryAfterFrom(100, drainsAt(10*time.Second, 8), now); got != 30*time.Second {
+		t.Errorf("slow drain: %v, want 30s ceiling", got)
+	}
+	// Fractional estimates quantize up, never down.
+	if got := retryAfterFrom(3, drainsAt(500*time.Millisecond, 8), now); got != 2*time.Second {
+		t.Errorf("1.5s estimate: %v, want 2s", got)
+	}
+}
+
+// TestRetryAfterHeaderDerived pins the server satellite end to end: a
+// 429 carries a Retry-After derived from the coordinator's estimate —
+// a positive whole-second value, not free-form text.
+func TestRetryAfterHeaderDerived(t *testing.T) {
+	block := make(chan struct{})
+	srv := New(Config{
+		Executors:  1,
+		QueueDepth: 1,
+		runJob: func(ctx context.Context, spec JobSpec) (*nustencil.RunOutput, error) {
+			<-block
+			return &nustencil.RunOutput{}, nil
+		},
+	})
+	defer func() { close(block); srv.Close() }()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec, _ := json.Marshal(JobSpec{
+		Problem: nustencil.Config{Dims: []int{10, 10, 10}, Workers: 1},
+		Run:     nustencil.RunSpec{Timesteps: 1},
+	})
+	submit := func() *http.Response {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(spec))
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	// One running (blocked), one queued: the third submission must be
+	// refused with a derived hint.
+	for submit().StatusCode == http.StatusAccepted {
+	}
+	resp := submit()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	h := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 1 || secs > 30 {
+		t.Fatalf("Retry-After %q, want a whole number of seconds in [1, 30]", h)
+	}
+	if got := srv.Coordinator().RetryAfter(); got != time.Duration(secs)*time.Second {
+		t.Fatalf("header %ds disagrees with RetryAfter() %v", secs, got)
+	}
+}
+
+// TestRetryDelay pins the client-side header parsing: delta-seconds and
+// HTTP-dates are honored, everything else falls back.
+func TestRetryDelay(t *testing.T) {
+	const fb = 7 * time.Millisecond
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", fb},
+		{"  ", fb},
+		{"3", 3 * time.Second},
+		{" 2 ", 2 * time.Second},
+		{"0", fb},
+		{"-5", fb},
+		{"soon", fb},
+		{time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), fb}, // past date
+	}
+	for _, tc := range cases {
+		if got := retryDelay(tc.header, fb); got != tc.want {
+			t.Errorf("retryDelay(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	if got := retryDelay(future, fb); got < 80*time.Second || got > 90*time.Second {
+		t.Errorf("retryDelay(HTTP-date +90s) = %v, want ≈90s", got)
+	}
+}
+
+// TestLoadHonorsRetryAfter pins the load-generator satellite: after a
+// 429 with Retry-After, the next submission attempt waits the
+// server-stated delay, not the (much shorter) configured RetryBackoff.
+func TestLoadHonorsRetryAfter(t *testing.T) {
+	var mu sync.Mutex
+	var submits []time.Time
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		submits = append(submits, time.Now())
+		n := len(submits)
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(submitResponse{ID: "job-1", State: Queued})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(jobDoc{ID: "job-1", State: Done})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	rep, err := Load(context.Background(), LoadOptions{
+		BaseURL:      ts.URL,
+		Jobs:         1,
+		Concurrency:  1,
+		Tenants:      2,
+		RetryBackoff: time.Millisecond, // the header must override this
+		PollPeriod:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != 1 || rep.Retries != 1 {
+		t.Fatalf("done %d retries %d, want 1 and 1", rep.Done, rep.Retries)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(submits) != 2 {
+		t.Fatalf("%d submissions, want 2", len(submits))
+	}
+	if gap := submits[1].Sub(submits[0]); gap < 900*time.Millisecond {
+		t.Fatalf("resubmitted after %v, want ≥ ~1s (the server's Retry-After)", gap)
+	}
+}
+
+// TestZipfSValidation pins the explicit-invalid-skew satellite: a zero
+// ZipfS keeps the 1.5 default, while an explicit s ≤ 1 is an error —
+// never a silent rewrite.
+func TestZipfSValidation(t *testing.T) {
+	for _, s := range []float64{0.5, 1.0, -2} {
+		_, err := Load(context.Background(), LoadOptions{BaseURL: "http://unused", ZipfS: s})
+		if err == nil || !strings.Contains(err.Error(), "Zipf") {
+			t.Fatalf("ZipfS=%g: error %v, want a Zipf validation error", s, err)
+		}
+	}
+
+	srv := New(Config{Executors: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	rep, err := Load(context.Background(), LoadOptions{
+		BaseURL: ts.URL, Jobs: 2, Concurrency: 2, Tenants: 2,
+		Template: JobSpec{
+			Problem: nustencil.Config{Dims: []int{10, 10, 10}, Scheme: nustencil.Naive, Workers: 1},
+			Run:     nustencil.RunSpec{Timesteps: 1},
+		},
+		PollPeriod: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("zero ZipfS must default, got error: %v", err)
+	}
+	if rep.Done != 2 {
+		t.Fatalf("default-skew run: %d done, want 2", rep.Done)
+	}
+}

@@ -108,6 +108,69 @@ type Coordinator struct {
 	queued  int
 	closed  bool
 	wg      sync.WaitGroup
+
+	// drains is a ring of the most recent job-completion times (success
+	// or failure — either frees a queue slot); drainN counts completions
+	// ever. RetryAfter derives the backpressure hint from the drain rate
+	// it records.
+	drains [drainWindow]time.Time
+	drainN int
+}
+
+// drainWindow is how many recent completions the drain-rate estimate
+// looks back over.
+const drainWindow = 32
+
+// Retry-After clamps: never tell a client to come back sooner than a
+// second or later than half a minute.
+const (
+	minRetryAfter = time.Second
+	maxRetryAfter = 30 * time.Second
+)
+
+// RetryAfter estimates how long a rejected submitter should back off
+// before the queue has likely drained: the current backlog divided by
+// the recent drain rate, clamped to [minRetryAfter, maxRetryAfter] and
+// quantized to whole seconds (the HTTP Retry-After delta-seconds form).
+// With fewer than two recorded completions it stays optimistic at the
+// minimum — a cold server has no evidence the backlog is slow.
+func (c *Coordinator) RetryAfter() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.drainN
+	if n > drainWindow {
+		n = drainWindow
+	}
+	ds := make([]time.Time, 0, n)
+	for i := c.drainN - n; i < c.drainN; i++ {
+		ds = append(ds, c.drains[i%drainWindow])
+	}
+	return retryAfterFrom(c.queued, ds, time.Now())
+}
+
+// retryAfterFrom is the pure backlog estimate RetryAfter wraps: queued
+// jobs over the drain rate observed across drains (oldest first, as
+// recorded up to now).
+func retryAfterFrom(queued int, drains []time.Time, now time.Time) time.Duration {
+	if queued <= 0 || len(drains) < 2 {
+		return minRetryAfter
+	}
+	span := now.Sub(drains[0])
+	if span <= 0 {
+		return minRetryAfter
+	}
+	rate := float64(len(drains)) / span.Seconds() // completions per second
+	wait := time.Duration(float64(queued) / rate * float64(time.Second))
+	// Quantize up to whole seconds: Retry-After carries delta-seconds,
+	// and rounding down would invite a retry into a still-full queue.
+	wait = (wait + time.Second - 1) / time.Second * time.Second
+	if wait < minRetryAfter {
+		wait = minRetryAfter
+	}
+	if wait > maxRetryAfter {
+		wait = maxRetryAfter
+	}
+	return wait
 }
 
 // NewCoordinator starts cfg.Executors executor goroutines; Stop shuts
@@ -275,6 +338,8 @@ func (c *Coordinator) run(j *Job) {
 	defer c.mu.Unlock()
 	j.Finished = now
 	j.Output = out
+	c.drains[c.drainN%drainWindow] = now
+	c.drainN++
 	tq := c.tenants[j.Tenant]
 	tq.running--
 	c.metrics.AddRunning(-1)

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -40,7 +41,9 @@ type LoadOptions struct {
 	// "tenant-0" … "tenant-N-1".
 	Tenants int
 	// ZipfS is the Zipf skew exponent s > 1 (default 1.5); higher is
-	// more skewed toward tenant-0.
+	// more skewed toward tenant-0. An explicit value ≤ 1 is a
+	// validation error — Load rejects it rather than silently running a
+	// different skew.
 	ZipfS float64
 	// Seed seeds the tenant draw, making a run reproducible (default 1).
 	Seed int64
@@ -50,10 +53,13 @@ type LoadOptions struct {
 	// PollPeriod is the result-polling interval (default 5 ms).
 	PollPeriod time.Duration
 	// RetryBackoff is the wait after a 429 quota refusal before
-	// resubmitting (default PollPeriod). Quota refusals are retried
-	// until the job is admitted: admission control is backpressure, not
-	// job loss, so a finished run has zero dropped jobs by construction
-	// unless the server stays saturated past JobTimeout.
+	// resubmitting when the response carries no usable Retry-After
+	// header (default PollPeriod); a server-provided Retry-After always
+	// wins, since the server knows its backlog. Quota refusals are
+	// retried until the job is admitted: admission control is
+	// backpressure, not job loss, so a finished run has zero dropped
+	// jobs by construction unless the server stays saturated past
+	// JobTimeout.
 	RetryBackoff time.Duration
 	// JobTimeout bounds one job's submit-to-result wall time, retries
 	// included (default 2 minutes); a job that exceeds it counts as
@@ -74,7 +80,7 @@ func (o LoadOptions) withDefaults() LoadOptions {
 	if o.Tenants <= 0 {
 		o.Tenants = 8
 	}
-	if o.ZipfS <= 1 {
+	if o.ZipfS == 0 {
 		o.ZipfS = 1.5
 	}
 	if o.Seed == 0 {
@@ -169,6 +175,9 @@ func Load(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 	opts = opts.withDefaults()
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if opts.ZipfS <= 1 {
+		return nil, fmt.Errorf("server: Zipf skew must exceed 1, got %g", opts.ZipfS)
 	}
 	// Pre-draw every job's tenant so the workload is a pure function of
 	// (Seed, ZipfS, Tenants, Jobs), independent of scheduling races.
@@ -322,7 +331,9 @@ func driveJob(ctx context.Context, opts LoadOptions, tenant string) jobResult {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			res.retries++
-			if !sleepCtx(ctx, opts.RetryBackoff) {
+			// Honor the server's backlog-derived hint; fall back to the
+			// configured backoff when the header is absent or unparseable.
+			if !sleepCtx(ctx, retryDelay(resp.Header.Get("Retry-After"), opts.RetryBackoff)) {
 				return res
 			}
 			continue
@@ -373,6 +384,28 @@ func driveJob(ctx context.Context, opts LoadOptions, tenant string) jobResult {
 			return res
 		}
 	}
+}
+
+// retryDelay interprets a Retry-After header value: delta-seconds or an
+// HTTP-date, per RFC 9110. Absent, unparseable, or non-positive values
+// fall back to the caller's default.
+func retryDelay(h string, fallback time.Duration) time.Duration {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return fallback
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return fallback
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return fallback
 }
 
 // sleepCtx sleeps d or until ctx is done; false means ctx ended.

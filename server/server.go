@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"nustencil"
@@ -119,7 +120,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQuota):
-			w.Header().Set("Retry-After", "1")
+			// Derive the backoff hint from the actual backlog: queue depth
+			// over the recent drain rate, not a hardcoded second.
+			secs := int(s.coord.RetryAfter() / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
 			httpError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrShuttingDown):
 			httpError(w, http.StatusServiceUnavailable, err)
