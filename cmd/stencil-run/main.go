@@ -8,7 +8,9 @@
 // Machine-readable output: -json <path> writes the run report (rates,
 // per-worker updates, scheduler counters) as JSON, -trace-json <path>
 // writes the execution timeline in Chrome trace-event format (loadable in
-// Perfetto or chrome://tracing), -counters-json <path> the simulated
+// Perfetto or chrome://tracing; with -ranks N the trace spans one process
+// per rank, with halo flow arrows between them and migration/AtSync
+// markers), -counters-json <path> the simulated
 // performance counters with their bottleneck attribution, and -prom <path>
 // the same counters in Prometheus text format. Every path accepts "-" for
 // stdout; when more than one JSON output targets stdout they are wrapped
@@ -148,6 +150,15 @@ func realMain(args []string, stdout io.Writer) error {
 		rep.Gupdates(), rep.GFLOPS(), rep.FlopsPerUpdate)
 	if rep.Imbalance > 0 {
 		fmt.Fprintf(stdout, "imbalance  %.2f (max/mean worker busy time)\n", rep.Imbalance)
+	}
+	if d := rep.Dist; d != nil {
+		fmt.Fprintf(stdout, "halo       %d msgs, %d bytes (latency p50 %v, p99 %v)\n",
+			d.HaloMsgs, d.HaloBytes, d.HaloLatency.Quantile(0.5), d.HaloLatency.Quantile(0.99))
+		fmt.Fprintf(stdout, "barrier    wait p50 %v, p99 %v over %d rank-segments\n",
+			d.BarrierWait.Quantile(0.5), d.BarrierWait.Quantile(0.99), d.BarrierWait.N)
+		if d.Migrations > 0 {
+			fmt.Fprintf(stdout, "migrated   %d chares, %d bytes\n", d.Migrations, d.MigrationBytes)
+		}
 	}
 	if out.Timeline != "" {
 		fmt.Fprint(stdout, out.Timeline)

@@ -1,13 +1,17 @@
 // Command stencil-serve runs the stencil-as-a-service daemon: a
 // persistent multi-tenant HTTP job server over the library's Execute
 // API. Clients POST JSON job specs to /jobs, poll /jobs/{id} for
-// results, and scrape /metrics (server counters) and /jobs/{id}/metrics
+// results, scrape /metrics (server counters) and /jobs/{id}/metrics
 // (a counted job's simulated performance counters) in Prometheus text
-// format.
+// format, and fetch /jobs/{id}/trace (a traced job's Chrome trace).
+//
+// The daemon logs structured job-lifecycle telemetry (submit, start,
+// complete, fail, migrate, drain) via log/slog; -log-level picks the
+// floor.
 //
 // Example:
 //
-//	stencil-serve -addr :8080 -executors 2 &
+//	stencil-serve -addr :8080 -executors 2 -log-level debug &
 //	curl -s -X POST localhost:8080/jobs -d '{
 //	  "tenant": "demo",
 //	  "problem": {"dims": [66,66,66], "scheme": "nuCORALS", "workers": 4},
@@ -21,7 +25,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,9 +37,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("stencil-serve: ")
-
 	addr := flag.String("addr", ":8080", "listen address")
 	executors := flag.Int("executors", 2, "jobs executing concurrently (each job parallelizes across its own workers)")
 	queue := flag.Int("queue", 256, "global queued-job bound; beyond it submissions get 429")
@@ -43,7 +45,15 @@ func main() {
 	maxDeadline := flag.Duration("max-deadline", 10*time.Minute, "upper clamp on spec-requested deadlines")
 	maxCells := flag.Int64("max-cells", 64<<20, "admission limit on grid cells per job")
 	maxSteps := flag.Int("max-steps", 100_000, "admission limit on timesteps per job")
+	logLevel := flag.String("log-level", "info", "log floor: debug, info, warn, or error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "stencil-serve: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv := server.New(server.Config{
 		Executors:        *executors,
@@ -52,6 +62,7 @@ func main() {
 		DefaultDeadline:  *defaultDeadline,
 		MaxDeadline:      *maxDeadline,
 		Limits:           server.Limits{MaxCells: *maxCells, MaxTimesteps: *maxSteps},
+		Logger:           logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -60,17 +71,20 @@ func main() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		log.Print("shutting down")
+		s := <-sig
+		logger.Info("shutting down", "cause", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		hs.Shutdown(ctx)
-		srv.Close()
+		drained := srv.Close()
+		logger.Info("server stopped", "drained_jobs", drained)
 	}()
 
-	log.Printf("listening on %s (%d executors, queue %d, tenant queue %d)", *addr, *executors, *queue, *tenantQueue)
+	logger.Info("listening", "addr", *addr, "executors", *executors,
+		"queue", *queue, "tenant_queue", *tenantQueue, "log_level", level.String())
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("listen failed", "error", err)
+		os.Exit(1)
 	}
 	<-done
 }

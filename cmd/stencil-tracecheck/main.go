@@ -1,0 +1,51 @@
+// Command stencil-tracecheck validates Chrome trace-event JSON files —
+// the -trace-json output of stencil-run and the /jobs/{id}/trace
+// endpoint of stencil-serve — against the structural contract Perfetto
+// and chrome://tracing rely on: required fields on every event, metadata
+// before first use, matched flow pairs. It prints one summary line per
+// file and exits non-zero on the first violation, so CI can gate trace
+// exports without a browser.
+//
+// Example:
+//
+//	stencil-run -ranks 2 -trace-json dist-trace.json ...
+//	stencil-tracecheck dist-trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nustencil/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stencil-tracecheck: ")
+	minPids := flag.Int("min-pids", 0, "fail unless the trace spans at least this many processes")
+	minFlows := flag.Int("min-flows", 0, "fail unless the trace carries at least this many flow pairs")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: stencil-tracecheck [-min-pids N] [-min-flows N] <trace.json> ...")
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := trace.CheckChrome(data)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if stats.Pids < *minPids {
+			log.Fatalf("%s: %d pids, want >= %d", path, stats.Pids, *minPids)
+		}
+		if stats.Flows < *minFlows {
+			log.Fatalf("%s: %d flow pairs, want >= %d", path, stats.Flows, *minFlows)
+		}
+		fmt.Printf("%s: ok — %d events (%d pids, %d spans, %d counters, %d flows, %d instants, %d metadata)\n",
+			path, stats.Events, stats.Pids, stats.Spans, stats.Counters, stats.Flows, stats.Instants, stats.Metadata)
+	}
+}

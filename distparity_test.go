@@ -41,8 +41,10 @@ func solve3dDist(t *testing.T, scheme SchemeName, dims []int, ranks, workers int
 	if source {
 		s.SetSource(func(pt []int) float64 { return 0.001 * float64(pt[1]+pt[2]) })
 	}
+	// Trace every parity run: the tracer must be a pure observer, so
+	// bit-exactness with tracing enabled is part of the pinned contract.
 	for _, n := range steps {
-		if _, err := s.Execute(context.Background(), RunSpec{Timesteps: n}); err != nil {
+		if _, err := s.Execute(context.Background(), RunSpec{Timesteps: n, Trace: true}); err != nil {
 			t.Fatalf("%s: Execute: %v", scheme, err)
 		}
 	}
@@ -174,8 +176,8 @@ func TestDistributedCounted(t *testing.T) {
 }
 
 // TestDistributedValidation pins the Config surface: invalid rank
-// combinations are rejected at construction, and unsupported
-// observability is rejected at Execute.
+// combinations are rejected at construction, and tracing — rejected on
+// distributed runs before the observability layer — now succeeds.
 func TestDistributedValidation(t *testing.T) {
 	base := Config{Dims: []int{10, 10, 10}, Workers: 2}
 	bad := []Config{
@@ -193,16 +195,21 @@ func TestDistributedValidation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("valid distributed config rejected: %v", err)
 	}
-	if _, err := s.Execute(context.Background(), RunSpec{Timesteps: 2, Trace: true}); err == nil {
-		t.Fatalf("traced distributed run accepted")
+	out, err := s.Execute(context.Background(), RunSpec{Timesteps: 2, Trace: true})
+	if err != nil {
+		t.Fatalf("traced distributed run rejected: %v", err)
 	}
-	// The rejected trace run must not have consumed state: a plain run
-	// still works and the solver is not poisoned.
+	if out.Trace == nil {
+		t.Fatalf("traced distributed run returned no trace")
+	}
+	if out.Report.Dist == nil || out.Report.Dist.Ranks != 2 {
+		t.Fatalf("traced distributed run carries no dist stats: %+v", out.Report.Dist)
+	}
 	if err := s.Err(); err != nil {
-		t.Fatalf("solver poisoned by a rejected spec: %v", err)
+		t.Fatalf("solver poisoned by a traced run: %v", err)
 	}
 	if _, err := s.Execute(context.Background(), RunSpec{Timesteps: 2}); err != nil {
-		t.Fatalf("Execute after rejected spec: %v", err)
+		t.Fatalf("Execute after traced run: %v", err)
 	}
 }
 

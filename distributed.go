@@ -2,7 +2,6 @@ package nustencil
 
 import (
 	"context"
-	"errors"
 	"time"
 
 	"nustencil/internal/affinity"
@@ -10,6 +9,7 @@ import (
 	"nustencil/internal/machine"
 	"nustencil/internal/memsim"
 	"nustencil/internal/perfcount"
+	"nustencil/internal/trace"
 )
 
 // distTuning tunes the distributed path beyond the Config surface:
@@ -36,9 +36,6 @@ type distTuning struct {
 // final gather, so the pre-run state stays consistent.
 func (s *Solver) runDistributed(ctx context.Context, timesteps int, traced bool, counted *CounterOptions, rep Report) (Report, *Trace, *PerfCounters, error) {
 	cfg := s.cfg
-	if traced {
-		return rep, nil, nil, errors.New("nustencil: trace collection is not supported on distributed runs (Ranks > 1)")
-	}
 	wpr := cfg.Workers / cfg.Ranks
 	if wpr < 1 {
 		wpr = 1
@@ -49,6 +46,15 @@ func (s *Solver) runDistributed(ctx context.Context, timesteps int, traced bool,
 		Ranks:          cfg.Ranks,
 		ChareFactor:    cfg.ChareFactor,
 		WorkersPerRank: wpr,
+	}
+	// A traced run gets a multi-process trace: one pid per rank, one tid
+	// per chare, halo flow arrows, migration/AtSync instants, per-rank
+	// counter tracks. The runtime buffers records in single-writer shards
+	// and folds them into dtr once at Run exit.
+	var dtr *trace.Trace
+	if traced {
+		dtr = trace.New()
+		opts.Trace = dtr
 	}
 	if s.distTune != nil {
 		opts.LBPeriod = s.distTune.LBPeriod
@@ -132,6 +138,21 @@ func (s *Solver) runDistributed(ctx context.Context, timesteps int, traced bool,
 	rep.UpdatesPerWorker = res.UpdatesPerWorker
 	rep.Imbalance = busyImbalance(res.BusyPerWorker)
 	rep.Migrations = res.Migrations
+	rep.Dist = &DistStats{
+		Ranks:          cfg.Ranks,
+		Chares:         res.Chares,
+		HaloMsgs:       res.Net.Msgs,
+		HaloBytes:      res.Net.HaloBytes,
+		Migrations:     res.Net.Migrations,
+		MigrationBytes: res.Net.MigrationBytes,
+		HaloLatency:    res.Net.HaloLatency,
+		BarrierWait:    res.Net.BarrierWait,
+	}
+
+	var tw *Trace
+	if dtr != nil {
+		tw = &Trace{tr: dtr, workers: workers}
+	}
 
 	var pc *PerfCounters
 	if col != nil {
@@ -143,7 +164,7 @@ func (s *Solver) runDistributed(ctx context.Context, timesteps int, traced bool,
 			attr: perfcount.Attribute(counters, cmach, s.st, simCores, rep.Seconds),
 		}
 	}
-	return rep, nil, pc, nil
+	return rep, tw, pc, nil
 }
 
 // busyImbalance is max/mean of the per-worker busy times (1.0 =

@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"nustencil/internal/grid"
+	"nustencil/internal/histo"
 	"nustencil/internal/stencil"
+	"nustencil/internal/trace"
 )
 
 // Problem is the global state a distributed run advances: the solver's
@@ -53,6 +55,12 @@ type Options struct {
 	// index (rank·WorkersPerRank + local worker) — the counter layer's
 	// hook. Called from worker goroutines, one index never concurrently.
 	OnExec func(worker int, updates int64, d time.Duration)
+	// Trace, when set, collects the distributed timeline: per-rank
+	// processes, per-chare spans, halo flow arrows, migration/AtSync
+	// instants, and per-rank counter tracks. Records are buffered in
+	// single-writer shards during the run and folded into Trace once at
+	// Run exit (success only); nil adds no work to the hot path.
+	Trace *trace.Trace
 }
 
 // Result summarizes a distributed run.
@@ -202,6 +210,12 @@ type rank struct {
 
 	busy    []time.Duration // per local worker
 	updates []int64
+
+	// haloLat is written only by the rank's recvLoop; segDone is stamped
+	// by the rank's runSegment goroutine and read by the Run loop after
+	// the barrier (ordered by the segment WaitGroup).
+	haloLat histo.Hist
+	segDone time.Time
 }
 
 // Runtime executes one distributed run: chares spread over ranks,
@@ -221,6 +235,11 @@ type Runtime struct {
 
 	T          int
 	migrations int64
+
+	// tc is the trace record buffer (nil when Options.Trace is unset);
+	// barrierWait is written only by the Run loop.
+	tc          *tracer
+	barrierWait histo.Hist
 }
 
 // New scatters the problem into chares and builds the rank runtimes.
@@ -268,6 +287,9 @@ func New(prob Problem, opts Options) (*Runtime, error) {
 		}
 		r.cond = sync.NewCond(&r.mu)
 		rt.ranks[i] = r
+	}
+	if opts.Trace != nil {
+		rt.tc = newTracer(n, nd, opts.Ranks*opts.WorkersPerRank, opts.Ranks)
 	}
 	return rt, nil
 }
@@ -383,6 +405,7 @@ func (rt *Runtime) Run(ctx context.Context, timesteps int) (Result, error) {
 		if rt.opts.LBPeriod > 0 && t+rt.opts.LBPeriod < rt.T {
 			t1 = t + rt.opts.LBPeriod
 		}
+		rt.sampleResident()
 		var wg sync.WaitGroup
 		for _, r := range rt.ranks {
 			wg.Add(1)
@@ -392,8 +415,22 @@ func (rt *Runtime) Run(ctx context.Context, timesteps int) (Result, error) {
 			}(r)
 		}
 		wg.Wait()
+		barrierEnd := time.Now()
+		for _, r := range rt.ranks {
+			if !r.segDone.IsZero() {
+				rt.barrierWait.Observe(barrierEnd.Sub(r.segDone))
+			}
+		}
 		runErr = rt.firstErr()
 		if runErr == nil && t1 < rt.T {
+			if rt.tc != nil {
+				for _, r := range rt.ranks {
+					rt.tc.instants = append(rt.tc.instants, instantRec{
+						name: "AtSync", rank: r.id, at: r.segDone,
+						args: map[string]any{"step": t1},
+					})
+				}
+			}
 			rt.rebalance()
 		}
 		t = t1
@@ -416,7 +453,31 @@ func (rt *Runtime) Run(ctx context.Context, timesteps int) (Result, error) {
 	res.ChareSteps = int64(len(rt.chares)) * int64(rt.T)
 	res.Migrations = rt.migrations
 	res.Net = rt.tr.Stats()
+	for _, r := range rt.ranks {
+		res.Net.HaloLatency.Merge(&r.haloLat)
+	}
+	res.Net.BarrierWait = rt.barrierWait
+	if rt.tc != nil {
+		rt.tc.fold(rt.opts.Trace, rt.opts.Ranks, rt.opts.WorkersPerRank)
+	}
 	return res, nil
+}
+
+// sampleResident records one "chares resident" sample per rank from the
+// current ownership map. Called only from the Run loop at quiesced
+// segment boundaries.
+func (rt *Runtime) sampleResident() {
+	if rt.tc == nil {
+		return
+	}
+	now := time.Now()
+	counts := make([]int, rt.opts.Ranks)
+	for _, rk := range rt.chareRank {
+		counts[rk]++
+	}
+	for i, n := range counts {
+		rt.tc.resident = append(rt.tc.resident, residentRec{rank: i, at: now, n: n})
+	}
 }
 
 // gather copies every chare's owned cells from its final local buffer
@@ -459,7 +520,15 @@ func (rt *Runtime) rebalance() {
 		if from == mv.To {
 			continue
 		}
-		rt.tr.CountMigration(from, mv.To, rt.chares[mv.Chare].stateBytes())
+		bytes := rt.chares[mv.Chare].stateBytes()
+		rt.tr.CountMigration(from, mv.To, bytes)
+		if rt.tc != nil {
+			rt.tc.instants = append(rt.tc.instants, instantRec{
+				name: fmt.Sprintf("migrate chare %d", mv.Chare),
+				rank: from, tid: mv.Chare, at: time.Now(),
+				args: map[string]any{"from": from, "to": mv.To, "bytes": bytes},
+			})
+		}
 		rt.chareRank[mv.Chare] = int32(mv.To)
 		rt.migrations++
 	}
@@ -516,6 +585,7 @@ func (r *rank) runSegment(t1 int) {
 	owned := r.owned
 	r.mu.Unlock()
 	if owned == 0 {
+		r.segDone = time.Now()
 		return
 	}
 	var wg sync.WaitGroup
@@ -527,12 +597,17 @@ func (r *rank) runSegment(t1 int) {
 		}(lw)
 	}
 	wg.Wait()
+	r.segDone = time.Now()
 }
 
 // worker drains the ready queue: execute a chare's pending step, push
 // the halos the neighbors' next step reads, and re-evaluate readiness.
 func (r *rank) worker(lw int) {
 	rt := r.rt
+	var tsh *workerShard // this worker's private trace buffer, nil when untraced
+	if rt.tc != nil {
+		tsh = &rt.tc.shards[r.id*rt.opts.WorkersPerRank+lw]
+	}
 	for {
 		r.mu.Lock()
 		for len(r.ready) == 0 && r.done < r.owned && r.err == nil {
@@ -561,6 +636,11 @@ func (r *rank) worker(lw int) {
 		if rt.opts.OnExec != nil {
 			rt.opts.OnExec(r.id*rt.opts.WorkersPerRank+lw, n, d)
 		}
+		if tsh != nil {
+			tsh.spans = append(tsh.spans, spanRec{
+				chare: c.id, step: t, rank: r.id, updates: n, start: start, d: d,
+			})
+		}
 
 		// Advance and recycle the arrival slot for step t+2 BEFORE
 		// pushing t+1 halos: a neighbor unblocked by our push could send
@@ -585,10 +665,18 @@ func (r *rank) worker(lw int) {
 					peer.applyHalo(nb.dim, -nb.side, parity, data)
 					r.arrive(peer, t+1)
 				} else {
+					sentAt := time.Now()
+					if tsh != nil {
+						tsh.flows = append(tsh.flows, flowRec{
+							destChare: nb.id, dim: nb.dim, side: -nb.side, step: t + 1,
+							tid: c.id, rank: r.id, at: sentAt,
+						})
+					}
 					rt.tr.Send(Msg{
 						Kind: HaloMsg, From: r.id, To: dest,
 						Chare: nb.id, Step: t + 1,
 						Dim: nb.dim, Side: -nb.side, Data: data,
+						SentAt: sentAt,
 					})
 				}
 			}
@@ -643,16 +731,33 @@ func (r *rank) arrive(c *chare, step int) {
 // only changes at quiesced barriers, so every delivery targets a chare
 // this rank currently owns.
 func (r *rank) recvLoop() {
+	rt := r.rt
+	depth, _ := rt.tr.(DepthReporter)
 	for {
-		m, ok := r.rt.tr.Recv(r.id)
+		m, ok := rt.tr.Recv(r.id)
 		if !ok {
 			return
 		}
 		if m.Kind != HaloMsg {
 			continue
 		}
-		c := r.rt.chares[m.Chare]
+		c := rt.chares[m.Chare]
 		c.applyHalo(m.Dim, m.Side, m.Step&1, m.Data)
+		if !m.SentAt.IsZero() {
+			r.haloLat.Observe(time.Since(m.SentAt))
+		}
+		if rt.tc != nil {
+			now := time.Now()
+			rs := &rt.tc.recv[r.id]
+			rs.finishes = append(rs.finishes, flowRec{
+				destChare: m.Chare, dim: m.Dim, side: m.Side, step: m.Step,
+				tid: m.Chare, rank: r.id, at: now,
+			})
+			if depth != nil {
+				msgs, bytes := depth.Depth(r.id)
+				rs.samples = append(rs.samples, depthRec{at: now, msgs: msgs, bytes: bytes})
+			}
+		}
 		r.arrive(c, m.Step)
 	}
 }

@@ -1,6 +1,11 @@
 package dist
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"nustencil/internal/histo"
+)
 
 // MsgKind discriminates transport messages.
 type MsgKind uint8
@@ -27,6 +32,9 @@ type Msg struct {
 	// face, +1 the high face).
 	Dim, Side int
 	Data      []float64
+	// SentAt is stamped by the sender just before Send; the receiver
+	// observes apply-time minus SentAt into the halo-latency histogram.
+	SentAt time.Time
 }
 
 // Stats is a snapshot of a transport's inter-rank traffic. Payload
@@ -41,6 +49,14 @@ type Stats struct {
 	MigrationBytes int64
 	// Migrations counts chare moves between ranks.
 	Migrations int64
+	// HaloLatency is the send-to-apply latency distribution of inter-rank
+	// halo messages, and BarrierWait each rank's wait at each segment
+	// barrier (own segment done to all ranks done). Transports leave both
+	// zero; the runtime fills them from its rank-local histograms when it
+	// snapshots Stats into a Result.
+	HaloLatency histo.Hist
+	// BarrierWait — see HaloLatency.
+	BarrierWait histo.Hist
 }
 
 // Bytes is the total inter-rank volume: halos plus migrations.
@@ -67,6 +83,15 @@ type Transport interface {
 	Stats() Stats
 }
 
+// DepthReporter is an optional Transport extension reporting a rank's
+// current mailbox backlog. The tracer samples it after each receive to
+// render the per-rank "mailbox depth" and "halo bytes in flight" counter
+// tracks; transports that cannot observe their queues simply don't
+// implement it and the tracks are omitted.
+type DepthReporter interface {
+	Depth(rank int) (msgs int, bytes int64)
+}
+
 // LocalTransport is the in-process Transport: one mutex-guarded
 // unbounded mailbox per rank.
 type LocalTransport struct {
@@ -80,6 +105,7 @@ type mailbox struct {
 	cond   *sync.Cond
 	q      []Msg
 	head   int
+	bytes  int64 // payload bytes currently queued
 	closed bool
 }
 
@@ -105,6 +131,7 @@ func (t *LocalTransport) Send(m Msg) {
 	b := t.boxes[m.To]
 	b.mu.Lock()
 	b.q = append(b.q, m)
+	b.bytes += 8 * int64(len(m.Data))
 	b.cond.Signal()
 	b.mu.Unlock()
 }
@@ -123,6 +150,7 @@ func (t *LocalTransport) Recv(rank int) (Msg, bool) {
 	}
 	m := b.q[b.head]
 	b.q[b.head] = Msg{} // release the payload
+	b.bytes -= 8 * int64(len(m.Data))
 	b.head++
 	if b.head == len(b.q) {
 		b.q = b.q[:0]
@@ -148,6 +176,14 @@ func (t *LocalTransport) Close() {
 		b.cond.Broadcast()
 		b.mu.Unlock()
 	}
+}
+
+// Depth reports rank's current mailbox backlog (DepthReporter).
+func (t *LocalTransport) Depth(rank int) (int, int64) {
+	b := t.boxes[rank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.q) - b.head, b.bytes
 }
 
 // Stats snapshots the traffic counters.

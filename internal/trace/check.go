@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// CheckStats summarizes what a structural check walked over, so callers
+// (tests, CI smoke) can additionally assert coverage: how many events of
+// each kind, and how many distinct processes the trace spans.
+type CheckStats struct {
+	Events   int `json:"events"`
+	Pids     int `json:"pids"`
+	Spans    int `json:"spans"`
+	Counters int `json:"counters"`
+	Flows    int `json:"flows"`
+	Instants int `json:"instants"`
+	Metadata int `json:"metadata"`
+}
+
+// pidTid keys per-thread bookkeeping during a check.
+type pidTid struct{ pid, tid float64 }
+
+// flowKey identifies one flow arrow: starts and finishes bind on
+// (cat, id, name), so all three must match for Perfetto to draw it.
+type flowKey struct{ cat, id, name string }
+
+// CheckChrome validates the structural invariants of a Chrome
+// trace-event JSON document — the reusable checker the tests and the CI
+// smoke run against every export:
+//
+//   - the document is a JSON object with a traceEvents array;
+//   - every event carries a non-empty "ph" from the known phase set, a
+//     non-empty "name", and numeric "pid" and "tid";
+//   - every non-metadata event carries a numeric "ts", and every
+//     complete ("X") event a numeric "dur" ≥ 0;
+//   - metadata precedes first use: a thread_name for (pid, tid) before
+//     that thread's first complete event, a process_name for pid before
+//     the process's first non-metadata event;
+//   - flow endpoints pair up: every start ("s") has exactly as many
+//     finishes ("f") on the same (cat, id, name), none dangling, and no
+//     finish earlier than its start.
+//
+// It returns the walk summary and the first violation found.
+func CheckChrome(data []byte) (CheckStats, error) {
+	var stats CheckStats
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return stats, fmt.Errorf("trace: not a JSON trace document: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return stats, fmt.Errorf("trace: document has no traceEvents array")
+	}
+	stats.Events = len(doc.TraceEvents)
+
+	namedThread := map[pidTid]bool{}
+	namedProc := map[float64]bool{}
+	pids := map[float64]bool{}
+	starts := map[flowKey][]float64{} // ts of each flow start
+	finishes := map[flowKey][]float64{}
+
+	num := func(ev map[string]any, key string) (float64, bool) {
+		v, ok := ev[key].(float64)
+		return v, ok
+	}
+	str := func(ev map[string]any, key string) string {
+		s, _ := ev[key].(string)
+		return s
+	}
+
+	for i, ev := range doc.TraceEvents {
+		ph := str(ev, "ph")
+		switch ph {
+		case "B", "E", "X", "I", "i", "C", "M", "s", "t", "f", "b", "e", "n":
+		case "":
+			return stats, fmt.Errorf("trace: event %d has no ph", i)
+		default:
+			return stats, fmt.Errorf("trace: event %d has unknown ph %q", i, ph)
+		}
+		name := str(ev, "name")
+		if name == "" {
+			return stats, fmt.Errorf("trace: event %d (ph %q) has no name", i, ph)
+		}
+		pid, ok := num(ev, "pid")
+		if !ok {
+			return stats, fmt.Errorf("trace: event %d (%q) has no numeric pid", i, name)
+		}
+		tid, ok := num(ev, "tid")
+		if !ok {
+			return stats, fmt.Errorf("trace: event %d (%q) has no numeric tid", i, name)
+		}
+		if ph == "M" {
+			stats.Metadata++
+			switch name {
+			case "process_name":
+				namedProc[pid] = true
+			case "thread_name":
+				namedThread[pidTid{pid, tid}] = true
+			}
+			continue
+		}
+		pids[pid] = true
+		if !namedProc[pid] {
+			return stats, fmt.Errorf("trace: event %d (%q, ph %q) on pid %v precedes its process_name metadata", i, name, ph, pid)
+		}
+		ts, ok := num(ev, "ts")
+		if !ok {
+			return stats, fmt.Errorf("trace: event %d (%q, ph %q) has no numeric ts", i, name, ph)
+		}
+		switch ph {
+		case "X":
+			stats.Spans++
+			if !namedThread[pidTid{pid, tid}] {
+				return stats, fmt.Errorf("trace: complete event %d (%q) on pid %v tid %v precedes its thread_name metadata", i, name, pid, tid)
+			}
+			dur, ok := num(ev, "dur")
+			if !ok {
+				return stats, fmt.Errorf("trace: complete event %d (%q) has no numeric dur", i, name)
+			}
+			if dur < 0 {
+				return stats, fmt.Errorf("trace: complete event %d (%q) has negative dur %v", i, name, dur)
+			}
+		case "C":
+			stats.Counters++
+			if _, ok := ev["args"].(map[string]any); !ok {
+				return stats, fmt.Errorf("trace: counter event %d (%q) has no args", i, name)
+			}
+		case "s", "f", "t":
+			stats.Flows++
+			id := str(ev, "id")
+			if id == "" {
+				if _, ok := num(ev, "id"); !ok {
+					return stats, fmt.Errorf("trace: flow event %d (%q) has no id", i, name)
+				}
+				id = fmt.Sprint(ev["id"])
+			}
+			key := flowKey{cat: str(ev, "cat"), id: id, name: name}
+			if ph == "s" {
+				starts[key] = append(starts[key], ts)
+			} else if ph == "f" {
+				finishes[key] = append(finishes[key], ts)
+			}
+		case "i", "I":
+			stats.Instants++
+		}
+	}
+
+	for key, ss := range starts {
+		fs := finishes[key]
+		if len(fs) != len(ss) {
+			return stats, fmt.Errorf("trace: flow %q (cat %q, id %s) has %d starts but %d finishes", key.name, key.cat, key.id, len(ss), len(fs))
+		}
+		for _, fts := range fs {
+			for _, sts := range ss {
+				if fts < sts && len(ss) == 1 {
+					return stats, fmt.Errorf("trace: flow %q (id %s) finishes at %v before its start at %v", key.name, key.id, fts, sts)
+				}
+			}
+		}
+	}
+	for key, fs := range finishes {
+		if len(starts[key]) == 0 {
+			return stats, fmt.Errorf("trace: flow %q (cat %q, id %s) has %d finishes but no start", key.name, key.cat, key.id, len(fs))
+		}
+	}
+	stats.Pids = len(pids)
+	return stats, nil
+}

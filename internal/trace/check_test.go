@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// Negative cases: each malformed document must be rejected with a
+// diagnostic naming the violated invariant.
+func TestCheckChromeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the expected error
+	}{
+		{"not json", `{`, "not a JSON"},
+		{"no traceEvents", `{"displayTimeUnit":"ms"}`, "no traceEvents"},
+		{"missing ph", `{"traceEvents":[{"name":"x","pid":0,"tid":0,"ts":1}]}`, "no ph"},
+		{"unknown ph", `{"traceEvents":[{"name":"x","ph":"Z","pid":0,"tid":0,"ts":1}]}`, "unknown ph"},
+		{"missing name", `{"traceEvents":[{"ph":"X","pid":0,"tid":0,"ts":1,"dur":1}]}`, "no name"},
+		{"missing pid", `{"traceEvents":[{"name":"x","ph":"X","tid":0,"ts":1,"dur":1}]}`, "no numeric pid"},
+		{"missing tid", `{"traceEvents":[{"name":"x","ph":"X","pid":0,"ts":1,"dur":1}]}`, "no numeric tid"},
+		{"unnamed process", `{"traceEvents":[
+			{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"w0"}},
+			{"name":"x","ph":"X","pid":0,"tid":0,"ts":1,"dur":1}]}`, "process_name"},
+		{"unnamed thread", `{"traceEvents":[
+			{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"p"}},
+			{"name":"x","ph":"X","pid":0,"tid":0,"ts":1,"dur":1}]}`, "thread_name"},
+		{"metadata after use", `{"traceEvents":[
+			{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"p"}},
+			{"name":"x","ph":"X","pid":0,"tid":0,"ts":1,"dur":1},
+			{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"w0"}}]}`, "precedes its thread_name"},
+		{"missing ts", `{"traceEvents":[
+			{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"p"}},
+			{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"w0"}},
+			{"name":"x","ph":"X","pid":0,"tid":0,"dur":1}]}`, "no numeric ts"},
+		{"missing dur", `{"traceEvents":[
+			{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"p"}},
+			{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"w0"}},
+			{"name":"x","ph":"X","pid":0,"tid":0,"ts":1}]}`, "no numeric dur"},
+		{"negative dur", `{"traceEvents":[
+			{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"p"}},
+			{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"w0"}},
+			{"name":"x","ph":"X","pid":0,"tid":0,"ts":1,"dur":-5}]}`, "negative dur"},
+		{"counter without args", `{"traceEvents":[
+			{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"p"}},
+			{"name":"depth","ph":"C","pid":0,"tid":0,"ts":1}]}`, "no args"},
+		{"dangling flow start", `{"traceEvents":[
+			{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"p"}},
+			{"name":"halo","ph":"s","cat":"flow","id":"0x1","pid":0,"tid":0,"ts":1}]}`, "1 starts but 0 finishes"},
+		{"dangling flow finish", `{"traceEvents":[
+			{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"p"}},
+			{"name":"halo","ph":"f","bp":"e","cat":"flow","id":"0x1","pid":0,"tid":0,"ts":1}]}`, "no start"},
+		{"flow finish before start", `{"traceEvents":[
+			{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"p"}},
+			{"name":"halo","ph":"s","cat":"flow","id":"0x1","pid":0,"tid":0,"ts":9},
+			{"name":"halo","ph":"f","bp":"e","cat":"flow","id":"0x1","pid":0,"tid":0,"ts":2}]}`, "before its start"},
+		{"flow without id", `{"traceEvents":[
+			{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"p"}},
+			{"name":"halo","ph":"s","cat":"flow","pid":0,"tid":0,"ts":1}]}`, "no id"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CheckChrome([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("checker accepted malformed document")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// A well-formed document passes and the walk summary counts each kind.
+func TestCheckChromeAccepts(t *testing.T) {
+	doc := `{"traceEvents":[
+		{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"rank 0"}},
+		{"name":"process_name","ph":"M","pid":2,"tid":0,"args":{"name":"rank 1"}},
+		{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"chare 0"}},
+		{"name":"thread_name","ph":"M","pid":2,"tid":1,"args":{"name":"chare 1"}},
+		{"name":"depth","ph":"C","pid":1,"tid":0,"ts":0,"args":{"value":3}},
+		{"name":"step","ph":"X","pid":1,"tid":0,"ts":1,"dur":4},
+		{"name":"step","ph":"X","pid":2,"tid":1,"ts":2,"dur":4},
+		{"name":"halo","ph":"s","cat":"flow","id":"0x7","pid":1,"tid":0,"ts":5},
+		{"name":"halo","ph":"f","bp":"e","cat":"flow","id":"0x7","pid":2,"tid":1,"ts":6},
+		{"name":"AtSync","ph":"i","s":"t","pid":1,"tid":0,"ts":7}
+	]}`
+	stats, err := CheckChrome([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CheckStats{Events: 10, Pids: 2, Spans: 2, Counters: 1, Flows: 2, Instants: 1, Metadata: 4}
+	if stats != want {
+		t.Errorf("stats = %+v, want %+v", stats, want)
+	}
+}

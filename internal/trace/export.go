@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // chromeEvent is one entry of the Chrome trace-event format's traceEvents
@@ -11,12 +12,18 @@ import (
 // and durations are in microseconds; fractional values are allowed, which
 // keeps sub-microsecond tiles visible.
 type chromeEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  *float64       `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   float64  `json:"ts"`
+	Dur  *float64 `json:"dur,omitempty"`
+	Pid  int      `json:"pid"`
+	Tid  int      `json:"tid"`
+	// Cat and ID bind flow starts to flow finishes; Bp ("e") attaches a
+	// flow finish to its enclosing slice; S is an instant event's scope.
+	Cat  string         `json:"cat,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	Bp   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -26,27 +33,71 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-// WriteChromeTrace writes the trace in Chrome trace-event JSON, loadable in
-// Perfetto or chrome://tracing: one track (tid) per worker, one complete
-// ("ph":"X") event per recorded tile carrying the tile ID, timestep range
-// and update count as args, plus thread_name metadata naming each of the
-// workers tracks and one counter ("ph":"C") event per sample of every
-// track added with AddCounter. Events are emitted sorted by start time. It
-// must not be called concurrently with Record.
+// flowCat is the category binding flow starts to finishes (Perfetto
+// matches arrows on cat+id+name).
+const flowCat = "flow"
+
+// WriteChromeTrace writes the trace in Chrome trace-event JSON, loadable
+// in Perfetto or chrome://tracing. Metadata ("ph":"M") comes first: with
+// no explicit process names, the default single-process layout — pid 0
+// named "nustencil", one tid per worker — is emitted; explicit
+// SetProcessName/SetThreadName metadata replaces it (the multi-rank
+// layout: one pid per rank, one tid per chare). Then counter ("ph":"C")
+// samples per AddCounter/AddCounterPid track, flow endpoints
+// ("ph":"s"/"f") connecting halo sends to their receives, instant
+// ("ph":"i") markers, and finally one complete ("ph":"X") event per
+// recorded span carrying the tile ID, timestep range and update count as
+// args, sorted by start time. It must not be called concurrently with
+// Record.
 func (tr *Trace) WriteChromeTrace(w io.Writer, workers int) error {
 	evs := tr.collect()
 	doc := chromeTrace{
-		TraceEvents:     make([]chromeEvent, 0, len(evs)+workers),
+		TraceEvents:     make([]chromeEvent, 0, len(evs)+workers+len(tr.flows)+len(tr.instants)+2),
 		DisplayTimeUnit: "ms",
 	}
-	for wk := 0; wk < workers; wk++ {
+	if len(tr.procNames) == 0 {
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
-			Name: "thread_name",
+			Name: "process_name",
 			Ph:   "M",
 			Pid:  0,
-			Tid:  wk,
-			Args: map[string]any{"name": fmt.Sprintf("worker %d", wk)},
+			Args: map[string]any{"name": "nustencil"},
 		})
+		for wk := 0; wk < workers; wk++ {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name",
+				Ph:   "M",
+				Pid:  0,
+				Tid:  wk,
+				Args: map[string]any{"name": fmt.Sprintf("worker %d", wk)},
+			})
+		}
+	} else {
+		procs := append([]procName(nil), tr.procNames...)
+		sort.Slice(procs, func(i, j int) bool { return procs[i].pid < procs[j].pid })
+		for _, p := range procs {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "process_name",
+				Ph:   "M",
+				Pid:  p.pid,
+				Args: map[string]any{"name": p.name},
+			})
+		}
+		threads := append([]threadName(nil), tr.threadNames...)
+		sort.Slice(threads, func(i, j int) bool {
+			if threads[i].pid != threads[j].pid {
+				return threads[i].pid < threads[j].pid
+			}
+			return threads[i].tid < threads[j].tid
+		})
+		for _, t := range threads {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name",
+				Ph:   "M",
+				Pid:  t.pid,
+				Tid:  t.tid,
+				Args: map[string]any{"name": t.name},
+			})
+		}
 	}
 	for _, cs := range tr.counters {
 		for _, p := range cs.points {
@@ -54,10 +105,37 @@ func (tr *Trace) WriteChromeTrace(w io.Writer, workers int) error {
 				Name: cs.name,
 				Ph:   "C",
 				Ts:   float64(p.ts) / 1e3,
-				Pid:  0,
+				Pid:  cs.pid,
 				Args: map[string]any{"value": p.v},
 			})
 		}
+	}
+	for _, f := range tr.flows {
+		ev := chromeEvent{
+			Name: f.name,
+			Ph:   "f",
+			Ts:   float64(f.ts) / 1e3,
+			Pid:  f.pid,
+			Tid:  f.tid,
+			Cat:  flowCat,
+			ID:   fmt.Sprintf("0x%x", f.id),
+			Bp:   "e",
+		}
+		if f.start {
+			ev.Ph, ev.Bp = "s", ""
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	for _, in := range tr.instants {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: in.name,
+			Ph:   "i",
+			Ts:   float64(in.ts) / 1e3,
+			Pid:  in.pid,
+			Tid:  in.tid,
+			S:    "t",
+			Args: in.args,
+		})
 	}
 	for _, e := range evs {
 		dur := float64(e.End-e.Start) / 1e3
@@ -65,13 +143,17 @@ func (tr *Trace) WriteChromeTrace(w io.Writer, workers int) error {
 			dur = 0
 		}
 		d := dur
+		name := e.Name
+		if name == "" {
+			name = fmt.Sprintf("tile %d [t%d,t%d)", e.TileID, e.T0, e.T1)
+		}
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
-			Name: fmt.Sprintf("tile %d [t%d,t%d)", e.TileID, e.T0, e.T1),
+			Name: name,
 			Ph:   "X",
 			Ts:   float64(e.Start) / 1e3,
 			Dur:  &d,
-			Pid:  0,
-			Tid:  e.Worker,
+			Pid:  e.Pid,
+			Tid:  e.Tid,
 			Args: map[string]any{
 				"tile":    e.TileID,
 				"t0":      e.T0,

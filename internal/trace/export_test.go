@@ -39,14 +39,18 @@ func TestWriteChromeTrace(t *testing.T) {
 		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
 	}
 
-	var meta, complete int
+	var procMeta, threadMeta, complete int
 	lastTs := -1.0
 	tiles := map[float64]bool{}
 	for _, e := range doc.TraceEvents {
 		switch e.Ph {
 		case "M":
-			meta++
-			if e.Name != "thread_name" {
+			switch e.Name {
+			case "process_name":
+				procMeta++
+			case "thread_name":
+				threadMeta++
+			default:
 				t.Errorf("metadata event name = %q", e.Name)
 			}
 		case "X":
@@ -68,8 +72,11 @@ func TestWriteChromeTrace(t *testing.T) {
 			t.Errorf("unexpected phase %q", e.Ph)
 		}
 	}
-	if meta != 2 {
-		t.Errorf("thread_name events = %d, want 2 (one per worker)", meta)
+	if procMeta != 1 {
+		t.Errorf("process_name events = %d, want 1", procMeta)
+	}
+	if threadMeta != 2 {
+		t.Errorf("thread_name events = %d, want 2 (one per worker)", threadMeta)
 	}
 	if complete != 3 {
 		t.Errorf("complete events = %d, want one per recorded tile (3)", complete)
@@ -78,6 +85,9 @@ func TestWriteChromeTrace(t *testing.T) {
 		if !tiles[id] {
 			t.Errorf("tile %v missing from trace", id)
 		}
+	}
+	if _, err := CheckChrome(buf.Bytes()); err != nil {
+		t.Errorf("structural check failed: %v", err)
 	}
 }
 
@@ -90,8 +100,65 @@ func TestWriteChromeTraceEmpty(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("not valid JSON: %v", err)
 	}
-	if len(doc.TraceEvents) != 1 { // just the thread_name metadata
-		t.Errorf("events = %d, want 1", len(doc.TraceEvents))
+	if len(doc.TraceEvents) != 2 { // just the process_name + thread_name metadata
+		t.Errorf("events = %d, want 2", len(doc.TraceEvents))
+	}
+}
+
+// A multi-rank export: explicit process/thread metadata, spans placed by
+// RecordOn, a cross-pid flow pair, instants, and per-pid counter tracks.
+func TestWriteChromeTraceMultiRank(t *testing.T) {
+	t0 := time.Now()
+	tr := New()
+	tr.origin = t0
+	tr.SetProcessName(1, "rank 0")
+	tr.SetProcessName(2, "rank 1")
+	tr.SetThreadName(1, 3, "chare 3")
+	tr.SetThreadName(2, 5, "chare 5")
+	tr.RecordOn(1, 3, 0, "chare 3 step 0", 3, 0, 1, 100, t0, t0.Add(2*time.Millisecond))
+	tr.RecordOn(2, 5, 1, "chare 5 step 0", 5, 0, 1, 100, t0.Add(time.Millisecond), t0.Add(3*time.Millisecond))
+	tr.FlowStart(42, "halo", 1, 3, t0.Add(2*time.Millisecond))
+	tr.FlowFinish(42, "halo", 2, 5, t0.Add(4*time.Millisecond))
+	tr.AddInstant("migrate chare 3", 1, 3, t0.Add(5*time.Millisecond), map[string]any{"to": 1})
+	tr.AddCounterPid(1, "mailbox depth", t0.Add(time.Millisecond), 2)
+	tr.AddCounterPid(2, "mailbox depth", t0.Add(time.Millisecond), 1)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := CheckChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("structural check failed: %v\n%s", err, buf.String())
+	}
+	if stats.Pids != 2 {
+		t.Errorf("pids = %d, want 2", stats.Pids)
+	}
+	if stats.Spans != 2 || stats.Flows != 2 || stats.Instants != 1 || stats.Counters != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	var sPid, fPid = -1, -1
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "s":
+			sPid = e.Pid
+		case "f":
+			fPid = e.Pid
+		case "X":
+			names[e.Name] = true
+		}
+	}
+	if sPid != 1 || fPid != 2 {
+		t.Errorf("flow pids: start on %d, finish on %d; want 1 and 2", sPid, fPid)
+	}
+	if !names["chare 3 step 0"] || !names["chare 5 step 0"] {
+		t.Errorf("span name overrides missing: %v", names)
 	}
 }
 
@@ -218,6 +285,9 @@ func TestWriteChromeTraceCounters(t *testing.T) {
 	}
 	if want := []float64{100, 300}; !floatsEqual(ts["ready tiles"], want) {
 		t.Errorf("ready tiles timestamps = %v µs, want %v", ts["ready tiles"], want)
+	}
+	if _, err := CheckChrome(buf.Bytes()); err != nil {
+		t.Errorf("structural check failed: %v", err)
 	}
 }
 

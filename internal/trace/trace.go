@@ -15,7 +15,8 @@ import (
 	"time"
 )
 
-// Event is one tile execution.
+// Event is one execution span: a tile on the single-process path, a
+// chare step on the distributed path.
 type Event struct {
 	Worker  int
 	TileID  int
@@ -23,6 +24,16 @@ type Event struct {
 	Updates int64
 	Start   time.Duration // offsets from the trace start
 	End     time.Duration
+
+	// Pid and Tid place the span in the Chrome export: one pid per
+	// process (rank), one tid per lane within it. Record leaves them at
+	// pid 0 / tid == Worker (the single-process layout); RecordOn sets
+	// them explicitly. Worker stays the accounting key for
+	// Summary/Timeline/Utilization either way.
+	Pid, Tid int
+	// Name overrides the exported event name; empty renders the default
+	// "tile <id> [t<t0>,t<t1>)".
+	Name string
 }
 
 // shard is one worker's private event list, padded out to a cache line so
@@ -46,15 +57,58 @@ type Trace struct {
 	// export), in first-use order.
 	counters []counterSeries
 
+	// procNames and threadNames are explicit process/thread metadata for
+	// multi-process exports; when procNames is non-empty the export skips
+	// the default single-process (pid 0, one tid per worker) metadata.
+	procNames   []procName
+	threadNames []threadName
+	// flows are the recorded flow-event endpoints ("ph":"s"/"f"), and
+	// instants the point-in-time markers ("ph":"i").
+	flows    []flowPoint
+	instants []instantEvent
+
 	// sorts counts how many times the event list was collected and sorted,
 	// so tests can assert that rendering derives it exactly once per call.
 	sorts int
 }
 
-// counterSeries is one named counter track.
+// counterSeries is one named counter track on one process.
 type counterSeries struct {
+	pid    int
 	name   string
 	points []counterPoint
+}
+
+// procName names one process ("process_name" metadata).
+type procName struct {
+	pid  int
+	name string
+}
+
+// threadName names one thread ("thread_name" metadata).
+type threadName struct {
+	pid, tid int
+	name     string
+}
+
+// flowPoint is one endpoint of a flow arrow. A start ("ph":"s") and a
+// finish ("ph":"f") with the same id and name bind into one arrow in
+// Perfetto — the halo-exchange visualization of a distributed trace.
+type flowPoint struct {
+	start    bool
+	id       uint64
+	name     string
+	pid, tid int
+	ts       time.Duration
+}
+
+// instantEvent is one point-in-time marker ("ph":"i"): a chare
+// migration, an AtSync load-balance barrier.
+type instantEvent struct {
+	name     string
+	pid, tid int
+	ts       time.Duration
+	args     map[string]any
 }
 
 // counterPoint is one sample of a counter track, at an offset from the
@@ -71,14 +125,70 @@ type counterPoint struct {
 // callers feed tracks after the run, from samples they buffered while it
 // ran.
 func (tr *Trace) AddCounter(name string, at time.Time, v float64) {
+	tr.AddCounterPid(0, name, at, v)
+}
+
+// AddCounterPid is AddCounter on an explicit process: each (pid, name)
+// pair is its own track, so a multi-rank trace renders per-rank counter
+// lanes (halo bytes in flight, mailbox depth, chares resident). Like
+// AddCounter it is not safe for concurrent use.
+func (tr *Trace) AddCounterPid(pid int, name string, at time.Time, v float64) {
 	p := counterPoint{ts: at.Sub(tr.origin), v: v}
 	for i := range tr.counters {
-		if tr.counters[i].name == name {
+		if tr.counters[i].pid == pid && tr.counters[i].name == name {
 			tr.counters[i].points = append(tr.counters[i].points, p)
 			return
 		}
 	}
-	tr.counters = append(tr.counters, counterSeries{name: name, points: []counterPoint{p}})
+	tr.counters = append(tr.counters, counterSeries{pid: pid, name: name, points: []counterPoint{p}})
+}
+
+// SetProcessName attaches "process_name" metadata to pid. Any explicit
+// process name switches the export to multi-process mode: the default
+// single-process (pid 0) worker metadata is not emitted, and every
+// process and thread carrying events must be named explicitly. Not safe
+// for concurrent use.
+func (tr *Trace) SetProcessName(pid int, name string) {
+	for i := range tr.procNames {
+		if tr.procNames[i].pid == pid {
+			tr.procNames[i].name = name
+			return
+		}
+	}
+	tr.procNames = append(tr.procNames, procName{pid: pid, name: name})
+}
+
+// SetThreadName attaches "thread_name" metadata to (pid, tid). Not safe
+// for concurrent use.
+func (tr *Trace) SetThreadName(pid, tid int, name string) {
+	for i := range tr.threadNames {
+		if tr.threadNames[i].pid == pid && tr.threadNames[i].tid == tid {
+			tr.threadNames[i].name = name
+			return
+		}
+	}
+	tr.threadNames = append(tr.threadNames, threadName{pid: pid, tid: tid, name: name})
+}
+
+// FlowStart records the sending end of a flow arrow ("ph":"s"): id and
+// name must match the corresponding FlowFinish for Perfetto to draw the
+// arrow. Not safe for concurrent use — the distributed runtime folds
+// worker-local buffers through it once at run exit.
+func (tr *Trace) FlowStart(id uint64, name string, pid, tid int, at time.Time) {
+	tr.flows = append(tr.flows, flowPoint{start: true, id: id, name: name, pid: pid, tid: tid, ts: at.Sub(tr.origin)})
+}
+
+// FlowFinish records the receiving end of a flow arrow ("ph":"f"); see
+// FlowStart. Not safe for concurrent use.
+func (tr *Trace) FlowFinish(id uint64, name string, pid, tid int, at time.Time) {
+	tr.flows = append(tr.flows, flowPoint{id: id, name: name, pid: pid, tid: tid, ts: at.Sub(tr.origin)})
+}
+
+// AddInstant records a point-in-time marker ("ph":"i") — a chare
+// migration, an AtSync barrier — with optional args. Not safe for
+// concurrent use.
+func (tr *Trace) AddInstant(name string, pid, tid int, at time.Time, args map[string]any) {
+	tr.instants = append(tr.instants, instantEvent{name: name, pid: pid, tid: tid, ts: at.Sub(tr.origin), args: args})
 }
 
 // New returns an empty trace starting now. Record serializes on a mutex;
@@ -101,6 +211,7 @@ func (tr *Trace) Record(worker, tileID, t0, t1 int, updates int64, start, end ti
 	ev := Event{
 		Worker: worker, TileID: tileID, T0: t0, T1: t1, Updates: updates,
 		Start: start.Sub(tr.origin), End: end.Sub(tr.origin),
+		Tid: worker,
 	}
 	if worker >= 0 && worker < len(tr.shards) {
 		tr.shards[worker].events = append(tr.shards[worker].events, ev)
@@ -109,6 +220,20 @@ func (tr *Trace) Record(worker, tileID, t0, t1 int, updates int64, start, end ti
 	tr.mu.Lock()
 	tr.events = append(tr.events, ev)
 	tr.mu.Unlock()
+}
+
+// RecordOn adds one execution span on an explicit process/thread: pid
+// and tid place it in the Chrome export, worker attributes it for
+// Summary/Timeline accounting, and name overrides the exported event
+// name. Unlike Record it is not safe for concurrent use — the
+// distributed runtime folds worker-local buffers through it once at run
+// exit.
+func (tr *Trace) RecordOn(pid, tid, worker int, name string, tileID, t0, t1 int, updates int64, start, end time.Time) {
+	tr.events = append(tr.events, Event{
+		Worker: worker, TileID: tileID, T0: t0, T1: t1, Updates: updates,
+		Start: start.Sub(tr.origin), End: end.Sub(tr.origin),
+		Pid: pid, Tid: tid, Name: name,
+	})
 }
 
 // collect merges the shards into one event list sorted by start time. Every

@@ -211,6 +211,10 @@ type Report struct {
 	// Migrations counts chare migrations between ranks on a distributed
 	// run (Config.Ranks > 1); always 0 on the single-process path.
 	Migrations int64
+	// Dist carries the distributed-runtime digest (inter-rank traffic,
+	// halo-latency and barrier-wait distributions) on multi-rank runs;
+	// nil on the single-process path.
+	Dist *DistStats
 	// FlopsPerUpdate converts updates to flops.
 	FlopsPerUpdate int
 	// Sched carries per-worker scheduler counters for dependency-scheduled

@@ -66,6 +66,8 @@ type reportJSON struct {
 	Imbalance        float64             `json:"imbalance"`
 	UpdatesPerWorker []int64             `json:"updates_per_worker,omitempty"`
 	Scheduler        []SchedulerCounters `json:"scheduler,omitempty"`
+	Migrations       int64               `json:"migrations,omitempty"`
+	Dist             *DistStats          `json:"dist,omitempty"`
 }
 
 // MarshalJSON emits the report with its derived rates included.
@@ -83,6 +85,8 @@ func (r Report) MarshalJSON() ([]byte, error) {
 		Imbalance:        r.Imbalance,
 		UpdatesPerWorker: r.UpdatesPerWorker,
 		Scheduler:        r.Sched,
+		Migrations:       r.Migrations,
+		Dist:             r.Dist,
 	})
 }
 
@@ -104,9 +108,40 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		Imbalance:        w.Imbalance,
 		UpdatesPerWorker: w.UpdatesPerWorker,
 		Sched:            w.Scheduler,
+		Migrations:       w.Migrations,
+		Dist:             w.Dist,
 	}
 	return nil
 }
+
+// DistStats is the distributed-runtime digest of a multi-rank run
+// (Config.Ranks > 1): the chare decomposition, inter-rank traffic
+// totals, and the halo-latency and barrier-wait distributions (log₂
+// histograms, see perfcount.Hist). Report.Dist carries it; it is nil on
+// single-process runs.
+type DistStats struct {
+	// Ranks and Chares describe the decomposition the run executed with.
+	Ranks  int `json:"ranks"`
+	Chares int `json:"chares"`
+	// HaloMsgs and HaloBytes count inter-rank halo messages and their
+	// payload volume (same-rank halo delivery bypasses the transport and
+	// is not counted).
+	HaloMsgs  int64 `json:"halo_msgs"`
+	HaloBytes int64 `json:"halo_bytes"`
+	// Migrations and MigrationBytes count chare moves between ranks and
+	// the state volume they carried.
+	Migrations     int64 `json:"migrations"`
+	MigrationBytes int64 `json:"migration_bytes"`
+	// HaloLatency is the send-to-apply latency distribution of inter-rank
+	// halo messages; BarrierWait is each rank's wait at each segment
+	// barrier (own segment done to all ranks done) — the load-imbalance
+	// signal the balancer acts on.
+	HaloLatency perfcount.Hist `json:"halo_latency"`
+	BarrierWait perfcount.Hist `json:"barrier_wait"`
+}
+
+// NetworkBytes is the total inter-rank volume: halos plus migrations.
+func (d *DistStats) NetworkBytes() int64 { return d.HaloBytes + d.MigrationBytes }
 
 // Trace is the recorded execution timeline of one traced run: which worker
 // executed which space-time tile when. It renders as a text Gantt chart
@@ -232,6 +267,14 @@ func (p *PerfCounters) LocalBytes() int64 { return p.c.LocalBytes() }
 // RemoteBytes returns the interconnect-crossing share of the main-memory
 // traffic.
 func (p *PerfCounters) RemoteBytes() int64 { return p.c.RemoteBytes() }
+
+// Ranks returns the rank count of a distributed counted run (0 on the
+// single-process path).
+func (p *PerfCounters) Ranks() int { return p.c.Ranks }
+
+// NetworkBytes returns the inter-rank traffic (halo payloads plus
+// migrated chare state) of a distributed counted run; 0 single-process.
+func (p *PerfCounters) NetworkBytes() int64 { return p.c.NetworkBytes }
 
 // MeanTileLatency returns the mean tile execution time.
 func (p *PerfCounters) MeanTileLatency() time.Duration {

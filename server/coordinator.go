@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -33,6 +35,10 @@ type Config struct {
 	// Limits are the admission-time resource bounds (default: 64 Mi
 	// cells, 100k timesteps).
 	Limits Limits
+	// Logger receives structured job-lifecycle telemetry (submit,
+	// dequeue, complete, fail, drain — each carrying tenant, job id and
+	// queue wait); nil discards it.
+	Logger *slog.Logger
 
 	// runJob overrides the job body (tests); nil means RunLocal.
 	runJob func(ctx context.Context, spec JobSpec) (*nustencil.RunOutput, error)
@@ -62,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.runJob == nil {
 		c.runJob = RunLocal
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
@@ -97,6 +106,7 @@ type tenantQueue struct {
 type Coordinator struct {
 	cfg     Config
 	metrics *Metrics
+	log     *slog.Logger
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -180,6 +190,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 	c := &Coordinator{
 		cfg:     cfg,
 		metrics: NewMetrics(),
+		log:     cfg.Logger,
 		tenants: make(map[string]*tenantQueue),
 		jobs:    make(map[string]*Job),
 	}
@@ -201,6 +212,7 @@ func (c *Coordinator) Submit(spec JobSpec) (Job, error) {
 	spec = spec.withDefaults()
 	if err := spec.validate(c.cfg.Limits); err != nil {
 		c.metrics.Rejected(spec.Tenant)
+		c.log.Warn("job rejected", "tenant", spec.Tenant, "reason", err.Error())
 		return Job{}, err
 	}
 	deadline := c.cfg.DefaultDeadline
@@ -218,6 +230,7 @@ func (c *Coordinator) Submit(spec JobSpec) (Job, error) {
 	}
 	if c.queued >= c.cfg.QueueDepth {
 		c.metrics.Rejected(spec.Tenant)
+		c.log.Warn("job rejected", "tenant", spec.Tenant, "reason", "queue full", "queued", c.queued)
 		return Job{}, fmt.Errorf("%w (%d queued)", ErrQueueFull, c.queued)
 	}
 	tq := c.tenants[spec.Tenant]
@@ -228,6 +241,7 @@ func (c *Coordinator) Submit(spec JobSpec) (Job, error) {
 	}
 	if len(tq.backlog) >= c.cfg.TenantQueueDepth {
 		c.metrics.Rejected(spec.Tenant)
+		c.log.Warn("job rejected", "tenant", spec.Tenant, "reason", "tenant quota", "tenant_queued", len(tq.backlog))
 		return Job{}, fmt.Errorf("%w: tenant %q has %d jobs queued", ErrTenantQuota, spec.Tenant, len(tq.backlog))
 	}
 	c.nextID++
@@ -245,6 +259,8 @@ func (c *Coordinator) Submit(spec JobSpec) (Job, error) {
 	c.queued++
 	c.metrics.Submitted(spec.Tenant)
 	c.metrics.SetQueueDepth(int64(c.queued))
+	c.log.Info("job submitted", "job", j.ID, "tenant", j.Tenant,
+		"queued", c.queued, "deadline", deadline.String())
 	c.cond.Signal()
 	return *j, nil
 }
@@ -312,6 +328,8 @@ func (c *Coordinator) executor() {
 		j.State = Running
 		j.Started = time.Now()
 		c.metrics.AddRunning(1)
+		c.log.Info("job started", "job", j.ID, "tenant", j.Tenant,
+			"queue_wait", j.Started.Sub(j.Submitted).String())
 		c.mu.Unlock()
 
 		c.run(j)
@@ -350,6 +368,9 @@ func (c *Coordinator) run(j *Job) {
 		j.Err = err.Error()
 		j.Expired = errors.Is(err, context.DeadlineExceeded)
 		c.metrics.Failed(j.Tenant, j.Expired, total, queueWait)
+		c.log.Warn("job failed", "job", j.ID, "tenant", j.Tenant,
+			"queue_wait", queueWait.String(), "total", total.String(),
+			"expired", j.Expired, "error", err.Error())
 		return
 	}
 	j.State = Done
@@ -357,18 +378,39 @@ func (c *Coordinator) run(j *Job) {
 	if out != nil && out.Counters != nil {
 		c.metrics.AddSim(out.Counters)
 	}
+	if out != nil && out.Report.Dist != nil {
+		c.metrics.AddDist(out.Report.Dist)
+		if out.Report.Migrations > 0 {
+			c.log.Info("job migrated chares", "job", j.ID, "tenant", j.Tenant,
+				"migrations", out.Report.Migrations,
+				"migration_bytes", out.Report.Dist.MigrationBytes)
+		}
+	}
+	attrs := []any{"job", j.ID, "tenant", j.Tenant,
+		"queue_wait", queueWait.String(), "total", total.String()}
+	if out != nil {
+		attrs = append(attrs, "updates", out.Report.Updates)
+		if d := out.Report.Dist; d != nil {
+			attrs = append(attrs, "ranks", d.Ranks, "halo_bytes", d.HaloBytes,
+				"migrations", d.Migrations)
+		}
+	}
+	c.log.Info("job completed", attrs...)
 }
 
 // Stop shuts the pool down: no new submissions, running jobs finish,
-// still-queued jobs fail with ErrShuttingDown.
-func (c *Coordinator) Stop() {
+// still-queued jobs fail with ErrShuttingDown. It returns the number of
+// queued jobs drained that way, so the daemon can log what the shutdown
+// cost its clients.
+func (c *Coordinator) Stop() int {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return
+		return 0
 	}
 	c.closed = true
 	now := time.Now()
+	drained := 0
 	for _, tq := range c.tenants {
 		for _, j := range tq.backlog {
 			j.State = Failed
@@ -379,6 +421,9 @@ func (c *Coordinator) Stop() {
 			// identity submitted == completed+failed+rejected across Stop.
 			wait := now.Sub(j.Submitted)
 			c.metrics.Failed(j.Tenant, false, wait, wait)
+			c.log.Debug("job drained", "job", j.ID, "tenant", j.Tenant,
+				"queue_wait", wait.String())
+			drained++
 		}
 		tq.backlog = nil
 	}
@@ -387,4 +432,6 @@ func (c *Coordinator) Stop() {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	c.wg.Wait()
+	c.log.Info("coordinator stopped", "drained", drained)
+	return drained
 }

@@ -35,11 +35,18 @@ type Metrics struct {
 	tenants map[string]*tenantMetrics
 
 	// Aggregated simulated counters over counted jobs.
-	simUpdates     int64
-	simFlops       int64
-	simLLCBytes    int64
-	simLocalBytes  int64
-	simRemoteBytes int64
+	simUpdates      int64
+	simFlops        int64
+	simLLCBytes     int64
+	simLocalBytes   int64
+	simRemoteBytes  int64
+	simNetworkBytes int64
+
+	// Aggregated distributed-runtime stats over multi-rank jobs.
+	distJobs           map[int]int64 // by rank count
+	distHaloBytes      int64
+	distMigrations     int64
+	distMigrationBytes int64
 }
 
 // tenantMetrics is one tenant's share.
@@ -53,7 +60,11 @@ type tenantMetrics struct {
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), tenants: make(map[string]*tenantMetrics)}
+	return &Metrics{
+		start:    time.Now(),
+		tenants:  make(map[string]*tenantMetrics),
+		distJobs: make(map[int]int64),
+	}
 }
 
 func (m *Metrics) tenant(name string) *tenantMetrics {
@@ -133,6 +144,19 @@ func (m *Metrics) AddSim(pc *nustencil.PerfCounters) {
 	m.simLLCBytes += pc.LLCBytes()
 	m.simLocalBytes += pc.LocalBytes()
 	m.simRemoteBytes += pc.RemoteBytes()
+	m.simNetworkBytes += pc.NetworkBytes()
+}
+
+// AddDist folds one multi-rank job's distributed-runtime stats into the
+// server totals, so scrapes see multi-rank traffic whether or not the
+// job was counted.
+func (m *Metrics) AddDist(d *nustencil.DistStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.distJobs[d.Ranks]++
+	m.distHaloBytes += d.HaloBytes
+	m.distMigrations += d.Migrations
+	m.distMigrationBytes += d.MigrationBytes
 }
 
 // Snapshot is a consistent copy of the registry for rendering.
@@ -151,11 +175,17 @@ type Snapshot struct {
 
 	Tenants map[string]TenantSnapshot
 
-	SimUpdates     int64
-	SimFlops       int64
-	SimLLCBytes    int64
-	SimLocalBytes  int64
-	SimRemoteBytes int64
+	SimUpdates      int64
+	SimFlops        int64
+	SimLLCBytes     int64
+	SimLocalBytes   int64
+	SimRemoteBytes  int64
+	SimNetworkBytes int64
+
+	DistJobs           map[int]int64
+	DistHaloBytes      int64
+	DistMigrations     int64
+	DistMigrationBytes int64
 }
 
 // TenantSnapshot is one tenant's share of a Snapshot.
@@ -172,22 +202,31 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		UptimeSeconds:  time.Since(m.start).Seconds(),
-		Submitted:      m.submitted,
-		Rejected:       m.rejected,
-		Completed:      m.completed,
-		Failed:         m.failed,
-		Expired:        m.expired,
-		QueueDepth:     m.queueDepth,
-		Running:        m.running,
-		Latency:        m.latency,
-		QueueWait:      m.queueWait,
-		Tenants:        make(map[string]TenantSnapshot, len(m.tenants)),
-		SimUpdates:     m.simUpdates,
-		SimFlops:       m.simFlops,
-		SimLLCBytes:    m.simLLCBytes,
-		SimLocalBytes:  m.simLocalBytes,
-		SimRemoteBytes: m.simRemoteBytes,
+		UptimeSeconds:   time.Since(m.start).Seconds(),
+		Submitted:       m.submitted,
+		Rejected:        m.rejected,
+		Completed:       m.completed,
+		Failed:          m.failed,
+		Expired:         m.expired,
+		QueueDepth:      m.queueDepth,
+		Running:         m.running,
+		Latency:         m.latency,
+		QueueWait:       m.queueWait,
+		Tenants:         make(map[string]TenantSnapshot, len(m.tenants)),
+		SimUpdates:      m.simUpdates,
+		SimFlops:        m.simFlops,
+		SimLLCBytes:     m.simLLCBytes,
+		SimLocalBytes:   m.simLocalBytes,
+		SimRemoteBytes:  m.simRemoteBytes,
+		SimNetworkBytes: m.simNetworkBytes,
+
+		DistJobs:           make(map[int]int64, len(m.distJobs)),
+		DistHaloBytes:      m.distHaloBytes,
+		DistMigrations:     m.distMigrations,
+		DistMigrationBytes: m.distMigrationBytes,
+	}
+	for ranks, n := range m.distJobs {
+		s.DistJobs[ranks] = n
 	}
 	for name, t := range m.tenants {
 		s.Tenants[name] = TenantSnapshot{
@@ -268,6 +307,27 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	p("# TYPE nustencil_sim_main_bytes_total counter\n")
 	p("nustencil_sim_main_bytes_total{locality=\"local\"} %d\n", s.SimLocalBytes)
 	p("nustencil_sim_main_bytes_total{locality=\"remote\"} %d\n", s.SimRemoteBytes)
+	p("# HELP nustencil_sim_network_bytes_total Simulated inter-rank network bytes over counted jobs.\n")
+	p("# TYPE nustencil_sim_network_bytes_total counter\n")
+	p("nustencil_sim_network_bytes_total %d\n", s.SimNetworkBytes)
+
+	ranksList := make([]int, 0, len(s.DistJobs))
+	for r := range s.DistJobs {
+		ranksList = append(ranksList, r)
+	}
+	sort.Ints(ranksList)
+	p("# HELP nustencil_server_dist_jobs_total Completed multi-rank jobs by rank count.\n")
+	p("# TYPE nustencil_server_dist_jobs_total counter\n")
+	for _, r := range ranksList {
+		p("nustencil_server_dist_jobs_total{ranks=\"%d\"} %d\n", r, s.DistJobs[r])
+	}
+	p("# HELP nustencil_server_dist_network_bytes_total Distributed-runtime network bytes by kind.\n")
+	p("# TYPE nustencil_server_dist_network_bytes_total counter\n")
+	p("nustencil_server_dist_network_bytes_total{kind=\"halo\"} %d\n", s.DistHaloBytes)
+	p("nustencil_server_dist_network_bytes_total{kind=\"migration\"} %d\n", s.DistMigrationBytes)
+	p("# HELP nustencil_server_dist_migrations_total Chare migrations across completed multi-rank jobs.\n")
+	p("# TYPE nustencil_server_dist_migrations_total counter\n")
+	p("nustencil_server_dist_migrations_total %d\n", s.DistMigrations)
 	return err
 }
 

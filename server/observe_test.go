@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nustencil"
+	"nustencil/internal/trace"
+)
+
+// distSpec is a small traced 2-rank job.
+func distSpec(tenant string) JobSpec {
+	spec := tinySpec(tenant)
+	spec.Problem.Ranks = 2
+	spec.Problem.ChareFactor = 3
+	spec.Problem.Scheme = ""
+	spec.Run.Trace = true
+	return spec
+}
+
+// TestJobTraceEndpoint: a traced multi-rank job's Chrome trace is served
+// at /jobs/{id}/trace, passes the structural checker, and spans one pid
+// per rank; untraced jobs 404.
+func TestJobTraceEndpoint(t *testing.T) {
+	srv := New(Config{Executors: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, ack, raw := postJob(t, ts, distSpec("acme"))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+	if doc := pollJob(t, ts, ack.ID); doc.State != Done {
+		t.Fatalf("job failed: %+v", doc)
+	}
+
+	code, text := getText(t, ts.URL+"/jobs/"+ack.ID+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace endpoint: %d\n%s", code, text)
+	}
+	stats, err := trace.CheckChrome([]byte(text))
+	if err != nil {
+		t.Fatalf("served trace fails structural check: %v", err)
+	}
+	if stats.Pids < 2 {
+		t.Errorf("served trace spans %d pids, want ≥ 2", stats.Pids)
+	}
+	if stats.Flows == 0 {
+		t.Errorf("served trace has no halo flow events")
+	}
+
+	// An untraced job has no trace to serve.
+	code, ack2, raw := postJob(t, ts, tinySpec("acme"))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit untraced: %d %s", code, raw)
+	}
+	if doc := pollJob(t, ts, ack2.ID); doc.State != Done {
+		t.Fatalf("untraced job failed: %+v", doc)
+	}
+	if code, _ := getText(t, ts.URL+"/jobs/"+ack2.ID+"/trace"); code != http.StatusNotFound {
+		t.Errorf("untraced job trace: %d, want 404", code)
+	}
+	if code, _ := getText(t, ts.URL+"/jobs/job-99999999/trace"); code != http.StatusNotFound {
+		t.Errorf("unknown job trace: %d, want 404", code)
+	}
+}
+
+// TestDistMetricsAggregation: completed multi-rank jobs surface in the
+// /metrics scrape — per-rank-count job totals and the distributed
+// network traffic split by kind.
+func TestDistMetricsAggregation(t *testing.T) {
+	srv := New(Config{Executors: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := distSpec("acme")
+	spec.Run.Counters = true
+	spec.Run.SamplePeriod = -1
+	code, ack, raw := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+	if doc := pollJob(t, ts, ack.ID); doc.State != Done {
+		t.Fatalf("job failed: %+v", doc)
+	}
+
+	code, text := getText(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		`nustencil_server_dist_jobs_total{ranks="2"} 1`,
+		`nustencil_server_dist_network_bytes_total{kind="halo"}`,
+		`nustencil_server_dist_network_bytes_total{kind="migration"} 0`,
+		"nustencil_server_dist_migrations_total 0",
+		"nustencil_sim_network_bytes_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `{kind="halo"} 0`) {
+		t.Errorf("halo bytes did not aggregate:\n%s", text)
+	}
+
+	s := srv.Coordinator().Metrics().Snapshot()
+	if s.DistJobs[2] != 1 || s.DistHaloBytes == 0 {
+		t.Errorf("dist snapshot: jobs=%v halo=%d", s.DistJobs, s.DistHaloBytes)
+	}
+	if s.SimNetworkBytes == 0 {
+		t.Errorf("counted 2-rank job folded no network bytes")
+	}
+}
+
+// syncWriter serializes writes from the coordinator's goroutines.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestJobLifecycleLogging pins the structured telemetry: every lifecycle
+// transition emits a leveled record carrying the job id and tenant, and
+// shutdown reports the drained count.
+func TestJobLifecycleLogging(t *testing.T) {
+	var out syncWriter
+	logger := slog.New(slog.NewTextHandler(&out, &slog.HandlerOptions{Level: slog.LevelDebug}))
+
+	release := make(chan struct{})
+	c := NewCoordinator(Config{
+		Executors: 1,
+		Logger:    logger,
+		runJob: func(ctx context.Context, spec JobSpec) (*nustencil.RunOutput, error) {
+			<-release
+			return &nustencil.RunOutput{}, nil
+		},
+	})
+	first, err := c.Submit(tinySpec("acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j, err := c.Job(first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == Running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A second job queues and is drained by Stop.
+	if _, err := c.Submit(tinySpec("acme")); err != nil {
+		t.Fatal(err)
+	}
+	// A rejection is logged at warn.
+	if _, err := c.Submit(JobSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	if drained := c.Stop(); drained != 1 {
+		t.Errorf("Stop drained %d jobs, want 1", drained)
+	}
+
+	text := out.String()
+	for _, want := range []string{
+		`msg="job submitted"`,
+		`msg="job started"`,
+		`msg="job completed"`,
+		`msg="job rejected"`,
+		`msg="job drained"`,
+		`msg="coordinator stopped" drained=1`,
+		"tenant=acme",
+		"job=" + first.ID,
+		"queue_wait=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("log missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestLoggingDisabledByDefault: a nil Config.Logger stays silent — the
+// default must not spam stderr from library users.
+func TestLoggingDisabledByDefault(t *testing.T) {
+	cfg := Config{}
+	cfg = cfg.withDefaults()
+	if cfg.Logger == nil {
+		t.Fatal("withDefaults left Logger nil")
+	}
+	// The default handler must swallow records without panicking.
+	cfg.Logger.Info("probe", "k", "v")
+}
+
+// TestDistJobLogging: a completed multi-rank job's completion record
+// carries the distributed stats.
+func TestDistJobLogging(t *testing.T) {
+	var out syncWriter
+	logger := slog.New(slog.NewTextHandler(&out, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	c := NewCoordinator(Config{Executors: 1, Logger: logger})
+	j, err := c.Submit(distSpec("acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, err := c.Job(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == Done {
+			break
+		}
+		if cur.State == Failed {
+			t.Fatalf("job failed: %s", cur.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	text := out.String()
+	for _, want := range []string{"ranks=2", "halo_bytes="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dist completion log missing %q:\n%s", want, text)
+		}
+	}
+}
+
+var _ io.Writer = (*syncWriter)(nil)

@@ -21,6 +21,8 @@ import (
 //	GET  /jobs/{id}         one job's status and (when finished) result
 //	GET  /jobs/{id}/metrics a counted job's simulated performance counters
 //	                        and bottleneck attribution in Prometheus text
+//	GET  /jobs/{id}/trace   a traced job's Chrome trace JSON (load in
+//	                        Perfetto / chrome://tracing)
 //	GET  /metrics           server counters in Prometheus text
 //	GET  /healthz           liveness probe
 type Server struct {
@@ -37,6 +39,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /jobs/{id}/metrics", s.handleJobMetrics)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -51,8 +54,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // submission, metrics access).
 func (s *Server) Coordinator() *Coordinator { return s.coord }
 
-// Close stops the executor pool: running jobs finish, queued jobs fail.
-func (s *Server) Close() { s.coord.Stop() }
+// Close stops the executor pool — running jobs finish, queued jobs fail
+// — and returns the number of queued jobs drained.
+func (s *Server) Close() int { return s.coord.Stop() }
 
 // submitResponse acknowledges an admitted job.
 type submitResponse struct {
@@ -164,6 +168,25 @@ func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := j.Output.Counters.WritePrometheus(w); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// handleJobTrace serves one traced job's Chrome trace JSON — submit
+// with run.trace=true, then load the response in Perfetto. A multi-rank
+// job's trace spans one pid per rank with halo flow arrows between them.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, err := s.coord.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	if j.State != Done || j.Output == nil || j.Output.Trace == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("job %s has no trace (state %s; submit with run.trace=true)", j.ID, j.State))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := j.Output.Trace.WriteChromeTrace(w); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 	}
 }
